@@ -1,0 +1,123 @@
+//! Micro-benchmarks of the JIT building blocks: the CNS lattice
+//! (`Identify_MNS`), the Bloom filter, the MNS buffer probe and the window
+//! join probe — the per-tuple costs that Section IV trades off.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use jit_core::lattice::CnsLattice;
+use jit_core::mns_buffer::MnsBuffer;
+use jit_core::BloomFilter;
+use jit_metrics::RunMetrics;
+use jit_types::{
+    BaseTuple, Duration, PredicateSet, SourceId, SourceSet, Timestamp, Tuple, Value, Window,
+};
+use std::sync::Arc;
+
+fn tuple(source: u16, seq: u64, vals: &[i64]) -> Tuple {
+    Tuple::from_base(Arc::new(BaseTuple::new(
+        SourceId(source),
+        seq,
+        Timestamp::from_millis(seq),
+        vals.iter().map(|&v| Value::int(v)).collect(),
+    )))
+}
+
+fn bench_lattice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lattice_identify_mns");
+    for candidates in [2usize, 3, 4] {
+        group.bench_function(format!("{candidates}_candidates_x_256_state_tuples"), |b| {
+            let sources = SourceSet::first_n(candidates);
+            b.iter_batched(
+                || (CnsLattice::new(sources), RunMetrics::new()),
+                |(mut lattice, mut metrics)| {
+                    for i in 0..256u64 {
+                        // Pseudo-random subset of matched components.
+                        let mask = (i.wrapping_mul(2654435761) >> 3) % (1 << candidates);
+                        let matched = SourceSet(mask & (sources.0));
+                        lattice.observe(matched, &mut metrics);
+                    }
+                    lattice.minimal_alive()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut filter = BloomFilter::new(4096, 3);
+    for v in 0..1_000 {
+        filter.insert(&Value::int(v));
+    }
+    c.bench_function("bloom_probe_1k_values", |b| {
+        b.iter(|| {
+            let mut absent = 0;
+            for v in 0..1_000 {
+                if filter.definitely_absent(&Value::int(v * 7 + 500)) {
+                    absent += 1;
+                }
+            }
+            absent
+        })
+    });
+}
+
+fn bench_mns_buffer(c: &mut Criterion) {
+    let preds = PredicateSet::clique(2);
+    let window = Window::new(Duration::from_secs(3_600));
+    c.bench_function("mns_buffer_probe_256_entries", |b| {
+        b.iter_batched(
+            || {
+                let mut buffer = MnsBuffer::new("bench");
+                for i in 0..256 {
+                    buffer.insert(tuple(0, i, &[i as i64]), Timestamp::from_millis(i));
+                }
+                (buffer, RunMetrics::new())
+            },
+            |(mut buffer, mut metrics)| {
+                buffer.take_matching(&tuple(1, 1, &[128]), &preds, window, &mut metrics)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_join_probe(c: &mut Criterion) {
+    use jit_exec::operator::{DataMessage, OpContext, Operator, LEFT, RIGHT};
+    use jit_exec::RefJoinOperator;
+    c.bench_function("ref_join_probe_512_partners", |b| {
+        b.iter_batched(
+            || {
+                let mut op = RefJoinOperator::new(
+                    "bench",
+                    SourceSet::single(SourceId(0)),
+                    SourceSet::single(SourceId(1)),
+                    PredicateSet::clique(2),
+                    Window::new(Duration::from_secs(3_600)),
+                );
+                let mut metrics = RunMetrics::new();
+                for i in 0..512u64 {
+                    let msg = DataMessage::new(tuple(1, i, &[(i % 64) as i64]));
+                    let mut ctx = OpContext::new(Timestamp::from_millis(i), &mut metrics);
+                    op.process(RIGHT, &msg, &mut ctx);
+                }
+                (op, metrics)
+            },
+            |(mut op, mut metrics)| {
+                let msg = DataMessage::new(tuple(0, 0, &[7]));
+                let mut ctx = OpContext::new(Timestamp::from_millis(1_000), &mut metrics);
+                op.process(LEFT, &msg, &mut ctx).results.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lattice,
+    bench_bloom,
+    bench_mns_buffer,
+    bench_join_probe
+);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Regenerate every figure of the paper's evaluation (Figures 10–17).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p jit-bench --release --bin run_figures [-- --scale 0.25 --seed 1 --out results/ --figure fig10]
+//! ```
+//!
+//! * `--scale S`   application-time scale: 1.0 = 60 minutes per point, the
+//!   paper's 5-hour runs correspond to `--scale 5.0` (default 0.1).
+//! * `--seed N`    workload RNG seed (default 20080415).
+//! * `--out DIR`   also write per-figure CSV and JSON under `DIR`.
+//! * `--figure ID` run a single figure (`fig10` … `fig17`) instead of all.
+//! * `--doe`       additionally run the DOE baseline.
+
+use jit_harness::figures::{check_expectations, run_figure, FigureSpec};
+use jit_harness::table_out::{render_csv, render_table};
+use std::path::PathBuf;
+
+struct Options {
+    scale: f64,
+    seed: u64,
+    out_dir: Option<PathBuf>,
+    only: Option<String>,
+    with_doe: bool,
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        scale: 0.1,
+        seed: 20080415,
+        out_dir: None,
+        only: None,
+        with_doe: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                options.scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a number");
+            }
+            "--seed" => {
+                options.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            "--out" => {
+                options.out_dir = Some(PathBuf::from(args.next().expect("--out needs a path")));
+            }
+            "--figure" => {
+                options.only = Some(args.next().expect("--figure needs an id"));
+            }
+            "--doe" => options.with_doe = true,
+            "--help" | "-h" => {
+                println!(
+                    "run_figures [--scale S] [--seed N] [--out DIR] [--figure figNN] [--doe]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    options
+}
+
+fn main() {
+    let options = parse_args();
+    let figures: Vec<FigureSpec> = match &options.only {
+        Some(id) => vec![FigureSpec::by_id(id).unwrap_or_else(|| {
+            eprintln!("unknown figure {id}; expected fig10..fig17");
+            std::process::exit(2);
+        })],
+        None => FigureSpec::all(),
+    };
+    if let Some(dir) = &options.out_dir {
+        std::fs::create_dir_all(dir).expect("cannot create output directory");
+    }
+    println!(
+        "Reproducing {} figure(s) at duration scale {} (1.0 = 60 min of application time; the paper uses 5.0)\n",
+        figures.len(),
+        options.scale
+    );
+    let mut all_ok = true;
+    for mut spec in figures {
+        if options.with_doe {
+            spec.base = spec.base.clone().with_doe();
+        }
+        let result = run_figure(&spec, options.scale, options.seed);
+        println!("{}", render_table(&result));
+        let violations = check_expectations(&result);
+        if violations.is_empty() {
+            println!("  ✓ expectations hold (JIT ≤ REF in cost and memory, result counts agree)\n");
+        } else {
+            all_ok = false;
+            for v in &violations {
+                println!("  ✗ {v}");
+            }
+            println!();
+        }
+        if let Some(dir) = &options.out_dir {
+            std::fs::write(dir.join(format!("{}.csv", result.id)), render_csv(&result))
+                .expect("cannot write CSV");
+            std::fs::write(
+                dir.join(format!("{}.json", result.id)),
+                serde_json::to_string_pretty(&result).expect("figure result serialises"),
+            )
+            .expect("cannot write JSON");
+        }
+    }
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,344 @@
+//! The producer-side blacklist.
+//!
+//! Section IV-B: when a producer handles `<suspend, {s}>`, it scans its
+//! operator state, extracts the super-tuples of the MNS `s` (and, optionally,
+//! tuples with identical join-attribute values — the "similar" tuples like
+//! `a2` in the running example) and moves them to a blacklist. New arrivals
+//! matching a blacklisted MNS are diverted straight into the blacklist
+//! instead of being processed. On `<resume, {s}>` the entry's tuples are
+//! moved back and joined only with the opposite tuples they have not been
+//! joined with yet.
+
+use jit_types::{ColumnRef, Signature, Timestamp, Tuple, TupleKey, Window};
+use std::fmt;
+
+/// Whether an entry suppresses production entirely or only marks it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuspendMode {
+    /// Super-tuples are not produced at all (`<suspend, …>`).
+    Suspend,
+    /// Super-tuples are produced but marked (`<mark, …>`, Type II handling).
+    Mark,
+}
+
+/// One suspended tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlacklistedTuple {
+    /// The suspended tuple (a super-tuple of the entry's MNS, or a similar
+    /// tuple captured by signature).
+    pub tuple: Tuple,
+    /// The opposite-state tuples this tuple has already been joined with are
+    /// exactly those inserted at or before this instant. `None` means the
+    /// tuple was diverted on arrival and has never probed the opposite state.
+    pub joined_up_to: Option<Timestamp>,
+}
+
+/// All tuples suspended on behalf of one MNS.
+#[derive(Debug, Clone)]
+pub struct BlacklistEntry {
+    /// The MNS that justified the suspension (as received in the feedback).
+    pub mns: Tuple,
+    /// The join-attribute columns used to recognise similar tuples.
+    pub signature_columns: Vec<ColumnRef>,
+    /// The MNS's values on those columns.
+    pub signature: Signature,
+    /// Suspension vs mark-only.
+    pub mode: SuspendMode,
+    /// When the suspension was installed.
+    pub suspended_at: Timestamp,
+    /// The suspended tuples.
+    pub tuples: Vec<BlacklistedTuple>,
+}
+
+impl BlacklistEntry {
+    /// Does `tuple` belong to this entry — i.e. is it a super-tuple of the
+    /// MNS, or (when `allow_similar`) does it carry the same join-attribute
+    /// values?
+    pub fn captures(&self, tuple: &Tuple, allow_similar: bool) -> bool {
+        if self.mns.is_subtuple_of(tuple) {
+            return true;
+        }
+        if allow_similar
+            && !self.signature_columns.is_empty()
+            && self.mns.sources().is_subset(tuple.sources())
+        {
+            return Signature::of(tuple, &self.signature_columns) == self.signature;
+        }
+        false
+    }
+}
+
+/// The blacklist attached to one operator state.
+#[derive(Debug, Clone, Default)]
+pub struct Blacklist {
+    name: String,
+    entries: Vec<BlacklistEntry>,
+    bytes: usize,
+}
+
+impl Blacklist {
+    /// An empty blacklist with a diagnostic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Blacklist {
+            name: name.into(),
+            entries: Vec::new(),
+            bytes: 0,
+        }
+    }
+
+    /// The blacklist's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of entries (distinct MNSs).
+    pub fn num_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total number of suspended tuples across all entries.
+    pub fn num_tuples(&self) -> usize {
+        self.entries.iter().map(|e| e.tuples.len()).sum()
+    }
+
+    /// Is the blacklist empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Analytical size in bytes (MNSs plus suspended tuples).
+    pub fn size_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The entries, for inspection.
+    pub fn entries(&self) -> &[BlacklistEntry] {
+        &self.entries
+    }
+
+    /// Index of the entry for an MNS, if present.
+    pub fn entry_index(&self, key: &TupleKey) -> Option<usize> {
+        self.entries.iter().position(|e| &e.mns.key() == key)
+    }
+
+    /// Create (or find) the entry for `mns`. Returns its index.
+    pub fn upsert_entry(
+        &mut self,
+        mns: Tuple,
+        signature_columns: Vec<ColumnRef>,
+        mode: SuspendMode,
+        now: Timestamp,
+    ) -> usize {
+        if let Some(idx) = self.entry_index(&mns.key()) {
+            // Upgrade a mark-only entry to a full suspension if asked.
+            if mode == SuspendMode::Suspend {
+                self.entries[idx].mode = SuspendMode::Suspend;
+            }
+            return idx;
+        }
+        let signature = Signature::of(&mns, &signature_columns);
+        self.bytes += mns.size_bytes() + signature.size_bytes();
+        self.entries.push(BlacklistEntry {
+            mns,
+            signature_columns,
+            signature,
+            mode,
+            suspended_at: now,
+            tuples: Vec::new(),
+        });
+        self.entries.len() - 1
+    }
+
+    /// Add a suspended tuple to an entry.
+    pub fn add_tuple(&mut self, entry: usize, tuple: Tuple, joined_up_to: Option<Timestamp>) {
+        self.bytes += tuple.size_bytes();
+        self.entries[entry].tuples.push(BlacklistedTuple {
+            tuple,
+            joined_up_to,
+        });
+    }
+
+    /// The first entry that captures an arriving tuple, if any.
+    pub fn matching_entry(&self, tuple: &Tuple, allow_similar: bool) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.captures(tuple, allow_similar))
+    }
+
+    /// Remove and return the entry for an MNS (resumption).
+    pub fn remove_entry(&mut self, key: &TupleKey) -> Option<BlacklistEntry> {
+        let idx = self.entry_index(key)?;
+        let entry = self.entries.remove(idx);
+        self.bytes -= entry.mns.size_bytes() + entry.signature.size_bytes();
+        self.bytes -= entry
+            .tuples
+            .iter()
+            .map(|t| t.tuple.size_bytes())
+            .sum::<usize>();
+        Some(entry)
+    }
+
+    /// Drop expired suspended tuples and entries that have become useless
+    /// (MNS expired and no live tuples remain). Returns the number of tuples
+    /// removed.
+    pub fn purge(&mut self, window: Window, now: Timestamp) -> usize {
+        let mut removed = 0usize;
+        let mut freed = 0usize;
+        for entry in &mut self.entries {
+            entry.tuples.retain(|t| {
+                if window.is_expired(t.tuple.ts(), now) {
+                    removed += 1;
+                    freed += t.tuple.size_bytes();
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        self.entries.retain(|e| {
+            let dead = e.tuples.is_empty()
+                && !e.mns.is_empty()
+                && window.is_expired(e.mns.ts(), now);
+            if dead {
+                freed += e.mns.size_bytes() + e.signature.size_bytes();
+            }
+            !dead
+        });
+        self.bytes -= freed;
+        removed
+    }
+}
+
+impl fmt::Display for Blacklist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{} entries, {} tuples, {} B]",
+            self.name,
+            self.num_entries(),
+            self.num_tuples(),
+            self.bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jit_types::{BaseTuple, Duration, SourceId, Value};
+    use std::sync::Arc;
+
+    fn tup(source: u16, seq: u64, ts_ms: u64, vals: &[i64]) -> Tuple {
+        Tuple::from_base(Arc::new(BaseTuple::new(
+            SourceId(source),
+            seq,
+            Timestamp::from_millis(ts_ms),
+            vals.iter().map(|&v| Value::int(v)).collect(),
+        )))
+    }
+
+    fn window() -> Window {
+        Window::new(Duration::from_secs(60))
+    }
+
+    /// Signature column A.x1 — the "y" attribute of the running example.
+    fn sig_cols() -> Vec<ColumnRef> {
+        vec![ColumnRef::new(SourceId(0), 1)]
+    }
+
+    #[test]
+    fn upsert_and_lookup() {
+        let mut bl = Blacklist::new("B_A");
+        let a1 = tup(0, 1, 1_000, &[7, 100]);
+        let idx = bl.upsert_entry(a1.clone(), sig_cols(), SuspendMode::Suspend, a1.ts());
+        assert_eq!(idx, 0);
+        // Upserting the same MNS returns the same entry.
+        let again = bl.upsert_entry(a1.clone(), sig_cols(), SuspendMode::Suspend, a1.ts());
+        assert_eq!(again, 0);
+        assert_eq!(bl.num_entries(), 1);
+        assert_eq!(bl.entry_index(&a1.key()), Some(0));
+        assert!(bl.to_string().contains("B_A"));
+    }
+
+    #[test]
+    fn captures_supertuple_and_similar() {
+        let mut bl = Blacklist::new("B_A");
+        let a1 = tup(0, 1, 1_000, &[7, 100]);
+        bl.upsert_entry(a1.clone(), sig_cols(), SuspendMode::Suspend, a1.ts());
+        // a1 itself (and any super-tuple of it) is captured.
+        assert_eq!(bl.matching_entry(&a1, false), Some(0));
+        let b = tup(1, 1, 1_500, &[7]);
+        let a1b = a1.join(&b).unwrap();
+        assert_eq!(bl.matching_entry(&a1b, false), Some(0));
+        // a2 shares the join attribute value 100 → similar (only with the flag).
+        let a2 = tup(0, 2, 2_000, &[9, 100]);
+        assert_eq!(bl.matching_entry(&a2, true), Some(0));
+        assert_eq!(bl.matching_entry(&a2, false), None);
+        // a3 has a different join value → never captured.
+        let a3 = tup(0, 3, 2_000, &[7, 200]);
+        assert_eq!(bl.matching_entry(&a3, true), None);
+    }
+
+    #[test]
+    fn tuples_and_bytes_accounting() {
+        let mut bl = Blacklist::new("B");
+        let a1 = tup(0, 1, 0, &[7, 100]);
+        let idx = bl.upsert_entry(a1.clone(), sig_cols(), SuspendMode::Suspend, a1.ts());
+        bl.add_tuple(idx, a1.clone(), Some(Timestamp::from_millis(0)));
+        bl.add_tuple(idx, tup(0, 2, 10, &[9, 100]), None);
+        assert_eq!(bl.num_tuples(), 2);
+        let bytes_with_tuples = bl.size_bytes();
+        let entry = bl.remove_entry(&a1.key()).unwrap();
+        assert_eq!(entry.tuples.len(), 2);
+        assert_eq!(entry.tuples[0].joined_up_to, Some(Timestamp::ZERO));
+        assert_eq!(entry.tuples[1].joined_up_to, None);
+        assert!(bl.is_empty());
+        assert!(bl.size_bytes() < bytes_with_tuples);
+        assert_eq!(bl.size_bytes(), 0);
+    }
+
+    #[test]
+    fn remove_missing_entry_is_none() {
+        let mut bl = Blacklist::new("B");
+        assert!(bl.remove_entry(&tup(0, 1, 0, &[1]).key()).is_none());
+    }
+
+    #[test]
+    fn purge_drops_expired_tuples_and_dead_entries() {
+        let mut bl = Blacklist::new("B");
+        let a1 = tup(0, 1, 0, &[7, 100]);
+        let idx = bl.upsert_entry(a1.clone(), sig_cols(), SuspendMode::Suspend, a1.ts());
+        bl.add_tuple(idx, a1.clone(), Some(Timestamp::ZERO));
+        let a2 = tup(0, 2, 50_000, &[9, 100]);
+        bl.add_tuple(idx, a2, None);
+        // At t = 70s, a1 (ts 0, window 60s) has expired but a2 is alive; the
+        // entry stays because it still holds a live tuple.
+        assert_eq!(bl.purge(window(), Timestamp::from_millis(70_000)), 1);
+        assert_eq!(bl.num_entries(), 1);
+        assert_eq!(bl.num_tuples(), 1);
+        // Once a2 expires too, the entry disappears.
+        assert_eq!(bl.purge(window(), Timestamp::from_millis(120_000)), 1);
+        assert_eq!(bl.num_entries(), 0);
+        assert_eq!(bl.size_bytes(), 0);
+    }
+
+    #[test]
+    fn mark_entries_can_be_upgraded_to_suspend() {
+        let mut bl = Blacklist::new("B");
+        let a1 = tup(0, 1, 0, &[7, 100]);
+        let idx = bl.upsert_entry(a1.clone(), sig_cols(), SuspendMode::Mark, a1.ts());
+        assert_eq!(bl.entries()[idx].mode, SuspendMode::Mark);
+        bl.upsert_entry(a1.clone(), sig_cols(), SuspendMode::Suspend, a1.ts());
+        assert_eq!(bl.entries()[idx].mode, SuspendMode::Suspend);
+    }
+
+    #[test]
+    fn empty_mns_entry_captures_everything_and_survives_purge() {
+        let mut bl = Blacklist::new("B");
+        let idx = bl.upsert_entry(Tuple::empty(), vec![], SuspendMode::Suspend, Timestamp::ZERO);
+        assert_eq!(bl.matching_entry(&tup(0, 1, 5, &[1]), false), Some(idx));
+        // The Ø entry has no timestamp, so it is never purged by the window.
+        assert_eq!(bl.purge(window(), Timestamp::from_millis(10_000_000)), 0);
+        assert_eq!(bl.num_entries(), 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! The DOE baseline (demand-driven operator execution).
+//!
+//! Section II describes DOE as the special case of JIT in which the only MNS
+//! ever detected is the empty tuple Ø: a producer is suspended exactly when
+//! the consumer's opposite state is empty (or when all of its own consumers
+//! are suspended — which emerges from propagating the Ø feedback upstream).
+//! This module provides constructors so experiments can instantiate the DOE
+//! baseline without touching policy details.
+
+use crate::jit_join::JitJoinOperator;
+use crate::policy::JitPolicy;
+use jit_types::{PredicateSet, SourceSet, Window};
+
+/// Create a binary window join operating under the DOE policy.
+pub fn doe_join(
+    name: impl Into<String>,
+    left_schema: SourceSet,
+    right_schema: SourceSet,
+    predicates: PredicateSet,
+    window: Window,
+) -> JitJoinOperator {
+    JitJoinOperator::new(
+        name,
+        left_schema,
+        right_schema,
+        predicates,
+        window,
+        JitPolicy::doe(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::MnsDetection;
+    use jit_types::SourceId;
+
+    #[test]
+    fn doe_join_uses_empty_state_detection() {
+        let op = doe_join(
+            "A⋈B (DOE)",
+            SourceSet::single(SourceId(0)),
+            SourceSet::single(SourceId(1)),
+            PredicateSet::clique(2),
+            Window::minutes(5.0),
+        );
+        assert_eq!(op.policy().detection, MnsDetection::EmptyStateOnly);
+        assert!(!op.policy().capture_similar);
+        assert!(op.policy().propagate_feedback);
+    }
+}

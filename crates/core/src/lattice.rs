@@ -1,0 +1,247 @@
+//! The CNS lattice and the `Identify_MNS` algorithm (Section IV-A, Figure 8).
+//!
+//! For an input tuple `t` arriving at a consumer, the *candidate
+//! non-demanded sub-tuples* (CNSs) are the combinations of `t`'s components
+//! that appear in the consumer's join predicate towards the opposite input.
+//! They form a lattice ordered by the sub-tuple relation (Figure 7). The
+//! algorithm matches every lattice node against every tuple of the opposite
+//! state and finally reports the *minimal* nodes that were never matched —
+//! these are the MNSs.
+//!
+//! Two structural properties make this efficient (and are unit-tested here):
+//!
+//! 1. a node is matched by a state tuple iff **all** its level-1 descendants
+//!    are (so per state tuple we only need the set of matched components);
+//! 2. node death (having been matched at least once) is *downward closed*:
+//!    if a node has been matched, every sub-tuple of it has been matched too,
+//!    hence the alive set is upward closed and the MNSs are exactly the alive
+//!    nodes all of whose children are dead.
+
+use jit_metrics::{CostKind, RunMetrics};
+use jit_types::SourceSet;
+
+/// One node of the CNS lattice: a non-empty subset of the candidate sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CnsNode {
+    sources: SourceSet,
+    alive: bool,
+}
+
+/// The CNS lattice for one input tuple.
+///
+/// The lattice is built over *sources* rather than concrete sub-tuples:
+/// a node's concrete sub-tuple is obtained by projecting the input tuple onto
+/// the node's source set.
+#[derive(Debug, Clone)]
+pub struct CnsLattice {
+    nodes: Vec<CnsNode>,
+    candidates: SourceSet,
+}
+
+impl CnsLattice {
+    /// Build the lattice over the given candidate sources (the components of
+    /// the input tuple that appear in the consumer's join predicate towards
+    /// the opposite input).
+    ///
+    /// The number of nodes is `2^|candidates| − 1`; the paper's experiments
+    /// go up to 4 candidate components per input (15 nodes).
+    pub fn new(candidates: SourceSet) -> Self {
+        let nodes = candidates
+            .non_empty_subsets()
+            .into_iter()
+            .map(|sources| CnsNode {
+                sources,
+                alive: true,
+            })
+            .collect();
+        CnsLattice { nodes, candidates }
+    }
+
+    /// The candidate source set the lattice was built over.
+    pub fn candidates(&self) -> SourceSet {
+        self.candidates
+    }
+
+    /// Number of lattice nodes (excluding Ø).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Are all nodes dead (every CNS has found a match)? When true the caller
+    /// can stop scanning the opposite state early.
+    pub fn all_dead(&self) -> bool {
+        self.nodes.iter().all(|n| !n.alive)
+    }
+
+    /// Record the outcome of matching the input's components against one
+    /// opposite-state tuple: `matched_components` is the set of candidate
+    /// sources whose level-1 predicates towards that tuple all hold.
+    ///
+    /// Per property (1), a node is matched by this tuple iff its source set
+    /// is a subset of `matched_components`; matched nodes die.
+    pub fn observe(&mut self, matched_components: SourceSet, metrics: &mut RunMetrics) {
+        let mut visited = 0u64;
+        for node in &mut self.nodes {
+            if !node.alive {
+                continue;
+            }
+            visited += 1;
+            if node.sources.is_subset(matched_components) {
+                node.alive = false;
+            }
+        }
+        metrics.stats.lattice_nodes_visited += visited;
+        metrics.charge(CostKind::LatticeNode, visited);
+    }
+
+    /// The minimal alive nodes — the MNSs — as source sets.
+    ///
+    /// Because aliveness is upward closed, these are the alive nodes none of
+    /// whose proper subsets (within the lattice) are alive.
+    pub fn minimal_alive(&self) -> Vec<SourceSet> {
+        let mut result = Vec::new();
+        for node in &self.nodes {
+            if !node.alive {
+                continue;
+            }
+            let has_alive_subset = self.nodes.iter().any(|other| {
+                other.alive
+                    && other.sources != node.sources
+                    && other.sources.is_subset(node.sources)
+            });
+            if !has_alive_subset {
+                result.push(node.sources);
+            }
+        }
+        result
+    }
+
+    /// Is the lattice empty (no candidate components)? In that case the input
+    /// has no CNS other than Ø and the consumer cannot detect anything
+    /// beyond the empty-state case.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jit_types::SourceId;
+
+    fn set(ids: &[u16]) -> SourceSet {
+        SourceSet::from_iter(ids.iter().map(|&i| SourceId(i)))
+    }
+
+    #[test]
+    fn lattice_size_matches_subset_count() {
+        let l = CnsLattice::new(set(&[0, 1, 2, 3]));
+        assert_eq!(l.num_nodes(), 15);
+        assert_eq!(l.candidates(), set(&[0, 1, 2, 3]));
+        assert!(!l.is_empty());
+        let empty = CnsLattice::new(SourceSet::EMPTY);
+        assert!(empty.is_empty());
+        assert_eq!(empty.num_nodes(), 0);
+    }
+
+    #[test]
+    fn unmatched_singletons_are_reported_as_mns() {
+        // Candidates {a, b}; a state tuple matches b only.
+        let mut metrics = RunMetrics::new();
+        let mut l = CnsLattice::new(set(&[0, 1]));
+        l.observe(set(&[1]), &mut metrics);
+        let mns = l.minimal_alive();
+        // a never matched; ab never matched but contains alive child a → only a is minimal.
+        assert_eq!(mns, vec![set(&[0])]);
+        assert!(metrics.stats.lattice_nodes_visited > 0);
+    }
+
+    #[test]
+    fn paper_example_figure5_scenario() {
+        // Input abcd at Op4; SE has matching records of b and d, but not a, c.
+        // Expected MNSs: {a} and {c} (ac is an NPR but not minimal).
+        let mut metrics = RunMetrics::new();
+        let mut l = CnsLattice::new(set(&[0, 1, 2, 3]));
+        // A single E tuple matching components b and d.
+        l.observe(set(&[1, 3]), &mut metrics);
+        let mns = l.minimal_alive();
+        assert_eq!(mns, vec![set(&[0]), set(&[2])]);
+    }
+
+    #[test]
+    fn higher_level_mns_when_singletons_match_separately() {
+        // Section IV-A discussion: e1 matches a, e2 matches c, but no single
+        // tuple matches both — so ac is an MNS while a and c are not.
+        let mut metrics = RunMetrics::new();
+        let mut l = CnsLattice::new(set(&[0, 2]));
+        l.observe(set(&[0]), &mut metrics); // e1 matches a only
+        l.observe(set(&[2]), &mut metrics); // e2 matches c only
+        let mns = l.minimal_alive();
+        assert_eq!(mns, vec![set(&[0, 2])]);
+    }
+
+    #[test]
+    fn fully_matched_tuple_has_no_mns() {
+        let mut metrics = RunMetrics::new();
+        let mut l = CnsLattice::new(set(&[0, 1]));
+        l.observe(set(&[0, 1]), &mut metrics);
+        assert!(l.all_dead());
+        assert!(l.minimal_alive().is_empty());
+    }
+
+    #[test]
+    fn no_observation_means_every_singleton_is_mns() {
+        // An empty opposite state is special-cased by the caller (Ø MNS), but
+        // a lattice that saw no observations reports all singletons.
+        let l = CnsLattice::new(set(&[0, 1, 2]));
+        assert_eq!(l.minimal_alive(), vec![set(&[0]), set(&[1]), set(&[2])]);
+    }
+
+    #[test]
+    fn death_is_permanent_across_observations() {
+        // A node that matched once stays dead even if later tuples don't match it.
+        let mut metrics = RunMetrics::new();
+        let mut l = CnsLattice::new(set(&[0, 1]));
+        l.observe(set(&[0]), &mut metrics); // a matches
+        l.observe(set(&[]), &mut metrics); // nothing matches
+        let mns = l.minimal_alive();
+        // a is dead; b is alive and minimal; ab has alive child b → not minimal.
+        assert_eq!(mns, vec![set(&[1])]);
+    }
+
+    #[test]
+    fn all_dead_enables_early_exit() {
+        let mut metrics = RunMetrics::new();
+        let mut l = CnsLattice::new(set(&[0]));
+        assert!(!l.all_dead());
+        l.observe(set(&[0]), &mut metrics);
+        assert!(l.all_dead());
+        let visits_before = metrics.stats.lattice_nodes_visited;
+        // Observing after everything is dead visits nothing.
+        l.observe(set(&[0]), &mut metrics);
+        assert_eq!(metrics.stats.lattice_nodes_visited, visits_before);
+    }
+
+    #[test]
+    fn minimality_never_reports_a_supertuple_of_another_mns() {
+        // Property (i) of Section IV-A, checked exhaustively on a 3-candidate
+        // lattice for every pattern of observations.
+        for pattern in 0u32..(1 << 3) {
+            let mut metrics = RunMetrics::new();
+            let mut l = CnsLattice::new(set(&[0, 1, 2]));
+            // One observation whose matched set is given by `pattern`.
+            let matched = SourceSet::from_iter(
+                (0..3u16).filter(|i| pattern & (1 << i) != 0).map(SourceId),
+            );
+            l.observe(matched, &mut metrics);
+            let mns = l.minimal_alive();
+            for a in &mns {
+                for b in &mns {
+                    if a != b {
+                        assert!(!a.is_subset(*b), "MNS {a} is a subset of MNS {b}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! The consumer-side MNS buffer.
+//!
+//! Section III-A: "OC stores all detected MNSs in an MNS buffer until their
+//! expiration, and probes each incoming tuple from the opposite input against
+//! the MNS buffer." A match removes the MNS and triggers a resumption
+//! feedback to the producer.
+
+use jit_metrics::{CostKind, RunMetrics};
+use jit_types::{PredicateSet, Timestamp, Tuple, TupleKey, Window};
+
+/// One buffered MNS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MnsEntry {
+    /// The minimal non-demanded sub-tuple.
+    pub mns: Tuple,
+    /// When it was detected (application time).
+    pub detected_at: Timestamp,
+}
+
+/// A buffer of detected MNSs for one input side of a consumer.
+#[derive(Debug, Clone, Default)]
+pub struct MnsBuffer {
+    name: String,
+    entries: Vec<MnsEntry>,
+    bytes: usize,
+}
+
+impl MnsBuffer {
+    /// An empty buffer with a diagnostic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        MnsBuffer {
+            name: name.into(),
+            entries: Vec::new(),
+            bytes: 0,
+        }
+    }
+
+    /// The buffer's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of buffered MNSs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Analytical size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Is an MNS with the same component identity already buffered?
+    pub fn contains(&self, mns: &Tuple) -> bool {
+        let key = mns.key();
+        self.entries.iter().any(|e| e.mns.key() == key)
+    }
+
+    /// Buffer a newly detected MNS (ignored if an identical one is present).
+    /// Returns whether it was inserted.
+    pub fn insert(&mut self, mns: Tuple, now: Timestamp) -> bool {
+        if self.contains(&mns) {
+            return false;
+        }
+        self.bytes += mns.size_bytes();
+        self.entries.push(MnsEntry {
+            mns,
+            detected_at: now,
+        });
+        true
+    }
+
+    /// Drop MNSs whose components have expired. The empty MNS Ø never
+    /// expires through the window (it is removed when resumed).
+    pub fn purge(&mut self, window: Window, now: Timestamp) -> usize {
+        self.take_expired(window, now).len()
+    }
+
+    /// Remove and return the MNSs whose components have expired.
+    ///
+    /// The caller (the consumer operator) turns these into resumption
+    /// feedback: once the justification for a suspension has expired, the
+    /// producer must release any still-alive similar tuples it suppressed on
+    /// its behalf, otherwise their future join partners would be missed.
+    pub fn take_expired(&mut self, window: Window, now: Timestamp) -> Vec<Tuple> {
+        let mut expired = Vec::new();
+        let mut freed = 0usize;
+        self.entries.retain(|e| {
+            if !e.mns.is_empty() && window.is_expired(e.mns.ts(), now) {
+                freed += e.mns.size_bytes();
+                expired.push(e.mns.clone());
+                false
+            } else {
+                true
+            }
+        });
+        self.bytes -= freed;
+        expired
+    }
+
+    /// Remove and return every buffered MNS matched by `tuple`.
+    ///
+    /// An MNS `s` is matched when every join predicate between `s`'s sources
+    /// and the tuple's sources holds and the two are within the window. The
+    /// empty MNS Ø is matched by any tuple (the opposite state is no longer
+    /// empty).
+    pub fn take_matching(
+        &mut self,
+        tuple: &Tuple,
+        predicates: &PredicateSet,
+        window: Window,
+        metrics: &mut RunMetrics,
+    ) -> Vec<Tuple> {
+        let mut matched = Vec::new();
+        let mut kept = Vec::with_capacity(self.entries.len());
+        let mut probes = 0u64;
+        for entry in self.entries.drain(..) {
+            probes += 1;
+            let is_match = if entry.mns.is_empty() {
+                true
+            } else {
+                window.can_join(entry.mns.ts(), tuple.ts())
+                    && predicates.matches(&entry.mns, tuple)
+            };
+            if is_match {
+                self.bytes -= entry.mns.size_bytes();
+                matched.push(entry.mns);
+            } else {
+                kept.push(entry);
+            }
+        }
+        self.entries = kept;
+        metrics.stats.mns_buffer_probes += probes;
+        metrics.charge(CostKind::MnsBufferProbe, probes);
+        matched
+    }
+
+    /// Remove a specific MNS by identity (used when a producer reports it can
+    /// no longer serve it). Returns whether it was present.
+    pub fn remove(&mut self, key: &TupleKey) -> bool {
+        let before = self.entries.len();
+        let mut freed = 0usize;
+        self.entries.retain(|e| {
+            if &e.mns.key() == key {
+                freed += e.mns.size_bytes();
+                false
+            } else {
+                true
+            }
+        });
+        self.bytes -= freed;
+        before != self.entries.len()
+    }
+
+    /// Iterate over buffered entries.
+    pub fn iter(&self) -> impl Iterator<Item = &MnsEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jit_types::{BaseTuple, Duration, SourceId, Value};
+    use std::sync::Arc;
+
+    fn tup(source: u16, seq: u64, ts_ms: u64, vals: &[i64]) -> Tuple {
+        Tuple::from_base(Arc::new(BaseTuple::new(
+            SourceId(source),
+            seq,
+            Timestamp::from_millis(ts_ms),
+            vals.iter().map(|&v| Value::int(v)).collect(),
+        )))
+    }
+
+    fn window() -> Window {
+        Window::new(Duration::from_secs(60))
+    }
+
+    #[test]
+    fn insert_dedups_by_identity() {
+        let mut b = MnsBuffer::new("NB_left");
+        let a1 = tup(0, 1, 0, &[5, 7]);
+        assert!(b.insert(a1.clone(), Timestamp::ZERO));
+        assert!(!b.insert(a1.clone(), Timestamp::from_millis(10)));
+        assert_eq!(b.len(), 1);
+        assert!(b.contains(&a1));
+        assert!(b.size_bytes() > 0);
+        assert_eq!(b.name(), "NB_left");
+    }
+
+    #[test]
+    fn take_matching_respects_predicates() {
+        // Clique over 2 sources: A.x0 = B.x0.
+        let preds = PredicateSet::clique(2);
+        let mut metrics = RunMetrics::new();
+        let mut b = MnsBuffer::new("NB");
+        b.insert(tup(0, 1, 0, &[5]), Timestamp::ZERO);
+        b.insert(tup(0, 2, 0, &[9]), Timestamp::ZERO);
+        // A B tuple with value 5 matches the first MNS only.
+        let probe = tup(1, 1, 1_000, &[5]);
+        let matched = b.take_matching(&probe, &preds, window(), &mut metrics);
+        assert_eq!(matched.len(), 1);
+        assert_eq!(matched[0].parts()[0].seq, 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(metrics.stats.mns_buffer_probes, 2);
+    }
+
+    #[test]
+    fn empty_mns_matches_anything_and_never_expires() {
+        let preds = PredicateSet::clique(2);
+        let mut metrics = RunMetrics::new();
+        let mut b = MnsBuffer::new("NB");
+        b.insert(Tuple::empty(), Timestamp::ZERO);
+        assert_eq!(b.purge(window(), Timestamp::from_millis(10_000_000)), 0);
+        let matched = b.take_matching(&tup(1, 1, 500, &[1]), &preds, window(), &mut metrics);
+        assert_eq!(matched.len(), 1);
+        assert!(matched[0].is_empty());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn expired_mns_is_purged_and_not_matched() {
+        let preds = PredicateSet::clique(2);
+        let mut metrics = RunMetrics::new();
+        let mut b = MnsBuffer::new("NB");
+        b.insert(tup(0, 1, 0, &[5]), Timestamp::ZERO);
+        // After the window has passed, the MNS cannot be matched…
+        let matched =
+            b.take_matching(&tup(1, 1, 100_000, &[5]), &preds, window(), &mut metrics);
+        assert!(matched.is_empty());
+        // …and purge removes it.
+        assert_eq!(b.purge(window(), Timestamp::from_millis(100_000)), 1);
+        assert!(b.is_empty());
+        assert_eq!(b.size_bytes(), 0);
+    }
+
+    #[test]
+    fn remove_by_key() {
+        let mut b = MnsBuffer::new("NB");
+        let m = tup(0, 3, 0, &[1]);
+        b.insert(m.clone(), Timestamp::ZERO);
+        assert!(b.remove(&m.key()));
+        assert!(!b.remove(&m.key()));
+        assert_eq!(b.size_bytes(), 0);
+    }
+
+    #[test]
+    fn iteration_exposes_detection_times() {
+        let mut b = MnsBuffer::new("NB");
+        b.insert(tup(0, 1, 0, &[1]), Timestamp::from_millis(42));
+        let times: Vec<Timestamp> = b.iter().map(|e| e.detected_at).collect();
+        assert_eq!(times, vec![Timestamp::from_millis(42)]);
+    }
+}

@@ -1,0 +1,462 @@
+//! The cascade executor.
+//!
+//! The executor owns an [`ExecutablePlan`] and drives arrival events through
+//! it. Processing one source arrival to quiescence is called a *cascade*:
+//! the arrival is delivered to every operator subscribed to the source, their
+//! outputs are scheduled for their consumers, feedback is routed upstream
+//! with pre-emptive priority, and the cascade ends when no tasks remain.
+//! Arrivals are processed strictly in timestamp order, so result timestamps
+//! are non-decreasing at the sinks (the temporal-order requirement of
+//! Section II).
+
+use crate::operator::{DataMessage, OpContext, OperatorId, Port};
+use crate::plan::{ExecutablePlan, Input, OperatorSlot};
+use crate::scheduler::{Priority, Scheduler, Task, TaskKind};
+use jit_metrics::{CostKind, MemComponentId, MetricsSnapshot, RunMetrics};
+use jit_types::{BaseTuple, FeedbackCommand, SourceId, Timestamp, Tuple};
+use std::sync::Arc;
+
+/// Execution options.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Keep every final result tuple in memory (needed for correctness
+    /// checks; disable for long benchmark runs).
+    pub collect_results: bool,
+    /// Panic (in debug terms: return an error flag) if final results are
+    /// emitted out of timestamp order.
+    pub check_temporal_order: bool,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            collect_results: true,
+            check_temporal_order: true,
+        }
+    }
+}
+
+/// Drives a plan over a stream of arrivals and accumulates metrics.
+pub struct Executor {
+    slots: Vec<OperatorSlot>,
+    source_subscribers: Vec<Vec<(OperatorId, Port)>>,
+    scheduler: Scheduler,
+    metrics: RunMetrics,
+    op_mem: Vec<MemComponentId>,
+    queue_mem: MemComponentId,
+    results: Vec<Tuple>,
+    results_count: u64,
+    last_result_ts: Timestamp,
+    order_violations: u64,
+    config: ExecutorConfig,
+    current_time: Timestamp,
+}
+
+impl Executor {
+    /// Create an executor for a plan with the given configuration.
+    pub fn new(plan: ExecutablePlan, config: ExecutorConfig) -> Self {
+        let mut metrics = RunMetrics::new();
+        let op_mem = plan
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| metrics.register_memory(format!("op{} {}", i, s.operator.name())))
+            .collect();
+        let queue_mem = metrics.register_memory("inter-operator queues");
+        Executor {
+            slots: plan.slots,
+            source_subscribers: plan.source_subscribers,
+            scheduler: Scheduler::new(),
+            metrics,
+            op_mem,
+            queue_mem,
+            results: Vec::new(),
+            results_count: 0,
+            last_result_ts: Timestamp::ZERO,
+            order_violations: 0,
+            config,
+            current_time: Timestamp::ZERO,
+        }
+    }
+
+    /// Create an executor with default configuration.
+    pub fn with_defaults(plan: ExecutablePlan) -> Self {
+        Executor::new(plan, ExecutorConfig::default())
+    }
+
+    /// Ingest one base tuple from a source and run the cascade to
+    /// completion.
+    pub fn ingest(&mut self, source: SourceId, tuple: Arc<BaseTuple>) {
+        debug_assert!(
+            tuple.ts >= self.current_time,
+            "arrivals must be ingested in timestamp order"
+        );
+        self.current_time = tuple.ts;
+        self.metrics.stats.tuples_arrived += 1;
+        let subscribers = self
+            .source_subscribers
+            .get(source.index())
+            .cloned()
+            .unwrap_or_default();
+        let msg = DataMessage::new(Tuple::from_base(tuple));
+        for (op, port) in subscribers {
+            self.metrics.stats.queued_tuples += 1;
+            self.metrics.charge(CostKind::QueueOp, 1);
+            self.scheduler.push(
+                Task {
+                    to: op,
+                    kind: TaskKind::Data {
+                        port,
+                        msg: msg.clone(),
+                    },
+                },
+                Priority::Normal,
+            );
+        }
+        self.run_cascade();
+    }
+
+    /// Run scheduled tasks until the cascade is drained.
+    fn run_cascade(&mut self) {
+        while let Some(task) = self.scheduler.pop() {
+            self.metrics.stats.tasks_executed += 1;
+            self.metrics.charge(CostKind::TaskDispatch, 1);
+            self.dispatch(task);
+            self.sample_memory();
+        }
+    }
+
+    /// Execute one task.
+    fn dispatch(&mut self, task: Task) {
+        let op_idx = task.to.0;
+        let now = self.current_time;
+        match task.kind {
+            TaskKind::Data { port, msg } => {
+                let output = {
+                    let slot = &mut self.slots[op_idx];
+                    let mut ctx = OpContext::new(now, &mut self.metrics);
+                    slot.operator.process(port, &msg, &mut ctx)
+                };
+                self.route_results(task.to, output.results, Priority::Normal);
+                self.route_feedback(task.to, output.feedback);
+            }
+            TaskKind::Feedback(fb) => {
+                let outcome = {
+                    let slot = &mut self.slots[op_idx];
+                    let mut ctx = OpContext::new(now, &mut self.metrics);
+                    ctx.metrics.charge(CostKind::FeedbackHandle, 1);
+                    slot.operator.handle_feedback(&fb, &mut ctx)
+                };
+                // Resumed production is delivered ahead of regular work
+                // (producer-over-consumer priority, Section III-B).
+                self.route_results(task.to, outcome.resumed, Priority::Resumed);
+                self.route_feedback(task.to, outcome.propagate);
+            }
+        }
+    }
+
+    /// Forward an operator's results to its consumers (or record them as
+    /// final output if the operator is a sink).
+    fn route_results(&mut self, from: OperatorId, results: Vec<DataMessage>, priority: Priority) {
+        if results.is_empty() {
+            return;
+        }
+        let (is_sink, consumers) = {
+            let slot = &self.slots[from.0];
+            (slot.is_sink, slot.consumers.clone())
+        };
+        if is_sink {
+            for msg in results {
+                self.results_count += 1;
+                self.metrics.stats.results_emitted += 1;
+                if self.config.check_temporal_order {
+                    if msg.tuple.ts() < self.last_result_ts {
+                        self.order_violations += 1;
+                    }
+                    self.last_result_ts = self.last_result_ts.max(msg.tuple.ts());
+                }
+                if self.config.collect_results {
+                    self.results.push(msg.tuple);
+                }
+            }
+        } else {
+            self.metrics.stats.intermediate_produced += results.len() as u64;
+            for msg in results {
+                for (consumer, port) in &consumers {
+                    self.metrics.stats.queued_tuples += 1;
+                    self.metrics.charge(CostKind::QueueOp, 1);
+                    self.scheduler.push(
+                        Task {
+                            to: *consumer,
+                            kind: TaskKind::Data {
+                                port: *port,
+                                msg: msg.clone(),
+                            },
+                        },
+                        priority,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Send feedback emitted by `from` to the producers feeding the named
+    /// ports. Feedback addressed to a raw source is dropped (a source has no
+    /// production to control).
+    fn route_feedback(&mut self, from: OperatorId, feedback: Vec<(Port, jit_types::Feedback)>) {
+        for (port, fb) in feedback {
+            match self.slots[from.0].inputs.get(port) {
+                Some(Input::Operator(producer)) => {
+                    match fb.command {
+                        FeedbackCommand::Suspend => self.metrics.stats.feedback_suspend += 1,
+                        FeedbackCommand::Resume => self.metrics.stats.feedback_resume += 1,
+                        FeedbackCommand::Mark => self.metrics.stats.feedback_mark += 1,
+                        FeedbackCommand::Unmark => self.metrics.stats.feedback_unmark += 1,
+                    }
+                    self.scheduler.push(
+                        Task {
+                            to: *producer,
+                            kind: TaskKind::Feedback(fb),
+                        },
+                        Priority::Control,
+                    );
+                }
+                Some(Input::Source(_)) | None => {
+                    // No producer operator to notify; the feedback is simply
+                    // dropped, which is always legal.
+                }
+            }
+        }
+    }
+
+    /// Refresh the per-operator and queue memory accounting.
+    fn sample_memory(&mut self) {
+        for (i, slot) in self.slots.iter().enumerate() {
+            self.metrics.memory.set(self.op_mem[i], slot.operator.memory_bytes());
+        }
+        self.metrics
+            .memory
+            .set(self.queue_mem, self.scheduler.queued_bytes());
+    }
+
+    /// The metrics accumulated so far.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// Results collected so far (empty if `collect_results` is off).
+    pub fn results(&self) -> &[Tuple] {
+        &self.results
+    }
+
+    /// Total number of final results emitted (counted even when collection
+    /// is disabled).
+    pub fn results_count(&self) -> u64 {
+        self.results_count
+    }
+
+    /// Number of temporal-order violations observed at the sinks (should be
+    /// zero for a correct execution).
+    pub fn order_violations(&self) -> u64 {
+        self.order_violations
+    }
+
+    /// Application time of the most recent arrival.
+    pub fn current_time(&self) -> Timestamp {
+        self.current_time
+    }
+
+    /// Immutable access to an operator (diagnostics and tests).
+    pub fn operator(&self, id: OperatorId) -> &dyn crate::operator::Operator {
+        self.slots[id.0].operator.as_ref()
+    }
+
+    /// Finish the run: freeze the wall clock and return results + metrics.
+    pub fn finish(mut self) -> (Vec<Tuple>, MetricsSnapshot) {
+        self.sample_memory();
+        let snapshot = self.metrics.finish();
+        (self.results, snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{Operator, OperatorOutput, LEFT};
+    use crate::plan::PlanBuilder;
+    use jit_types::{Feedback, SourceSet, Value};
+
+    /// Forwards every input; counts feedback received.
+    struct Forward {
+        name: String,
+        feedback_seen: usize,
+        suspended: bool,
+    }
+
+    impl Forward {
+        fn boxed(name: &str) -> Box<dyn Operator> {
+            Box::new(Forward {
+                name: name.to_string(),
+                feedback_seen: 0,
+                suspended: false,
+            })
+        }
+    }
+
+    impl Operator for Forward {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn output_schema(&self) -> SourceSet {
+            SourceSet::first_n(1)
+        }
+        fn num_ports(&self) -> usize {
+            1
+        }
+        fn process(
+            &mut self,
+            _port: Port,
+            msg: &DataMessage,
+            _ctx: &mut OpContext<'_>,
+        ) -> OperatorOutput {
+            OperatorOutput::with_results(vec![msg.clone()])
+        }
+        fn handle_feedback(
+            &mut self,
+            _fb: &Feedback,
+            _ctx: &mut OpContext<'_>,
+        ) -> crate::operator::FeedbackOutcome {
+            self.feedback_seen += 1;
+            self.suspended = true;
+            crate::operator::FeedbackOutcome::empty()
+        }
+        fn memory_bytes(&self) -> usize {
+            64
+        }
+        fn is_suspended(&self) -> bool {
+            self.suspended
+        }
+    }
+
+    /// Sends a suspension feedback upstream for every input it sees.
+    struct Complainer {
+        name: String,
+    }
+
+    impl Operator for Complainer {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn output_schema(&self) -> SourceSet {
+            SourceSet::first_n(1)
+        }
+        fn num_ports(&self) -> usize {
+            1
+        }
+        fn process(
+            &mut self,
+            _port: Port,
+            msg: &DataMessage,
+            _ctx: &mut OpContext<'_>,
+        ) -> OperatorOutput {
+            OperatorOutput {
+                results: vec![msg.clone()],
+                feedback: vec![(LEFT, Feedback::suspend(vec![msg.tuple.clone()]))],
+            }
+        }
+        fn memory_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    fn base(source: u16, seq: u64, ts: u64) -> Arc<BaseTuple> {
+        Arc::new(BaseTuple::new(
+            SourceId(source),
+            seq,
+            Timestamp::from_millis(ts),
+            vec![Value::int(1)],
+        ))
+    }
+
+    #[test]
+    fn single_operator_chain_delivers_to_sink() {
+        let mut b = PlanBuilder::new();
+        let first = b.add_operator(Forward::boxed("first"), vec![Input::Source(SourceId(0))]);
+        let _second = b.add_operator(Forward::boxed("second"), vec![Input::Operator(first)]);
+        let mut exec = Executor::with_defaults(b.build().unwrap());
+
+        exec.ingest(SourceId(0), base(0, 0, 10));
+        exec.ingest(SourceId(0), base(0, 1, 20));
+
+        assert_eq!(exec.results_count(), 2);
+        assert_eq!(exec.results().len(), 2);
+        assert_eq!(exec.metrics().stats.tuples_arrived, 2);
+        // first's outputs are intermediate, second's are final
+        assert_eq!(exec.metrics().stats.intermediate_produced, 2);
+        assert_eq!(exec.metrics().stats.results_emitted, 2);
+        assert_eq!(exec.order_violations(), 0);
+        assert_eq!(exec.current_time(), Timestamp::from_millis(20));
+        let (results, snapshot) = exec.finish();
+        assert_eq!(results.len(), 2);
+        assert!(snapshot.cost_units > 0);
+        assert!(snapshot.peak_memory_bytes >= 64);
+    }
+
+    #[test]
+    fn feedback_is_routed_to_the_producer() {
+        let mut b = PlanBuilder::new();
+        let producer = b.add_operator(Forward::boxed("producer"), vec![Input::Source(SourceId(0))]);
+        let _consumer = b.add_operator(
+            Box::new(Complainer {
+                name: "consumer".into(),
+            }),
+            vec![Input::Operator(producer)],
+        );
+        let mut exec = Executor::with_defaults(b.build().unwrap());
+        exec.ingest(SourceId(0), base(0, 0, 10));
+        assert_eq!(exec.metrics().stats.feedback_suspend, 1);
+        assert!(exec.operator(producer).is_suspended());
+    }
+
+    #[test]
+    fn feedback_to_a_source_is_dropped() {
+        let mut b = PlanBuilder::new();
+        let _only = b.add_operator(
+            Box::new(Complainer {
+                name: "consumer".into(),
+            }),
+            vec![Input::Source(SourceId(0))],
+        );
+        let mut exec = Executor::with_defaults(b.build().unwrap());
+        exec.ingest(SourceId(0), base(0, 0, 10));
+        // The feedback had nowhere to go but the execution completes cleanly.
+        assert_eq!(exec.metrics().stats.feedback_suspend, 0);
+        assert_eq!(exec.results_count(), 1);
+    }
+
+    #[test]
+    fn results_can_be_left_uncollected() {
+        let mut b = PlanBuilder::new();
+        b.add_operator(Forward::boxed("only"), vec![Input::Source(SourceId(0))]);
+        let mut exec = Executor::new(
+            b.build().unwrap(),
+            ExecutorConfig {
+                collect_results: false,
+                check_temporal_order: true,
+            },
+        );
+        exec.ingest(SourceId(0), base(0, 0, 10));
+        assert_eq!(exec.results_count(), 1);
+        assert!(exec.results().is_empty());
+    }
+
+    #[test]
+    fn unsubscribed_source_is_ignored() {
+        let mut b = PlanBuilder::new();
+        b.add_operator(Forward::boxed("only"), vec![Input::Source(SourceId(0))]);
+        let mut exec = Executor::with_defaults(b.build().unwrap());
+        exec.ingest(SourceId(5), base(5, 0, 10));
+        assert_eq!(exec.results_count(), 0);
+        assert_eq!(exec.metrics().stats.tuples_arrived, 1);
+    }
+}

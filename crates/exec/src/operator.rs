@@ -1,0 +1,270 @@
+//! The operator abstraction.
+//!
+//! Operators are the nodes of an execution plan. They receive
+//! [`DataMessage`]s on numbered input ports, may produce result messages for
+//! their consumers, and may send [`Feedback`] to the producer feeding one of
+//! their ports. Producers in turn handle feedback via
+//! [`Operator::handle_feedback`], possibly emitting *resumed* results and
+//! propagating feedback further upstream (Section III-C of the paper).
+
+use jit_metrics::RunMetrics;
+use jit_types::{Feedback, SourceSet, Timestamp, Tuple};
+use std::fmt;
+
+/// Index of an operator input port. Binary operators use [`LEFT`] and
+/// [`RIGHT`]; n-ary operators (e.g. the Eddy) use ports `0..n`.
+pub type Port = usize;
+
+/// The left input port of a binary operator.
+pub const LEFT: Port = 0;
+/// The right input port of a binary operator.
+pub const RIGHT: Port = 1;
+
+/// Identifier of an operator within an [`crate::plan::ExecutablePlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OperatorId(pub usize);
+
+impl fmt::Display for OperatorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Op{}", self.0)
+    }
+}
+
+/// A tuple flowing downstream from a producer to a consumer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataMessage {
+    /// The (possibly composite) tuple.
+    pub tuple: Tuple,
+    /// Mark-result flag: set when the tuple is a super-tuple of a sub-tuple
+    /// named in a `<mark, …>` feedback (Type II MNS handling, Section IV-B).
+    pub marked: bool,
+}
+
+impl DataMessage {
+    /// An unmarked data message.
+    pub fn new(tuple: Tuple) -> Self {
+        DataMessage {
+            tuple,
+            marked: false,
+        }
+    }
+
+    /// A marked data message.
+    pub fn marked(tuple: Tuple) -> Self {
+        DataMessage {
+            tuple,
+            marked: true,
+        }
+    }
+
+    /// Approximate footprint in bytes (for queue accounting).
+    pub fn size_bytes(&self) -> usize {
+        self.tuple.size_bytes() + std::mem::size_of::<bool>()
+    }
+}
+
+/// Everything an operator returns from processing one input message.
+#[derive(Debug, Default, Clone)]
+pub struct OperatorOutput {
+    /// Result messages to forward to the operator's consumers.
+    pub results: Vec<DataMessage>,
+    /// Feedback to send to the producer feeding the given port.
+    pub feedback: Vec<(Port, Feedback)>,
+}
+
+impl OperatorOutput {
+    /// No results, no feedback.
+    pub fn empty() -> Self {
+        OperatorOutput::default()
+    }
+
+    /// Only results.
+    pub fn with_results(results: Vec<DataMessage>) -> Self {
+        OperatorOutput {
+            results,
+            feedback: Vec::new(),
+        }
+    }
+
+    /// Is there nothing to deliver?
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty() && self.feedback.is_empty()
+    }
+}
+
+/// Everything a producer returns from handling a feedback message.
+#[derive(Debug, Default, Clone)]
+pub struct FeedbackOutcome {
+    /// Super-tuples produced in response to a resumption, to be delivered to
+    /// the operator's consumers ahead of regular work.
+    pub resumed: Vec<DataMessage>,
+    /// Feedback to propagate to the operators feeding the given ports
+    /// (Section III-C: "an operator always propagates a feedback before
+    /// handling it").
+    pub propagate: Vec<(Port, Feedback)>,
+}
+
+impl FeedbackOutcome {
+    /// Nothing to do.
+    pub fn empty() -> Self {
+        FeedbackOutcome::default()
+    }
+
+    /// Is there nothing to deliver?
+    pub fn is_empty(&self) -> bool {
+        self.resumed.is_empty() && self.propagate.is_empty()
+    }
+}
+
+/// Per-call execution context handed to operators: the current application
+/// time and mutable access to the run's metrics.
+pub struct OpContext<'a> {
+    /// Application time of the arrival that started the current cascade.
+    pub now: Timestamp,
+    /// Counters, cost model and memory accounting for the run.
+    pub metrics: &'a mut RunMetrics,
+}
+
+impl<'a> OpContext<'a> {
+    /// Create a context for the given instant.
+    pub fn new(now: Timestamp, metrics: &'a mut RunMetrics) -> Self {
+        OpContext { now, metrics }
+    }
+}
+
+/// A plan operator.
+///
+/// Implementations must be deterministic: the same sequence of `process` and
+/// `handle_feedback` calls must yield the same outputs, so REF/JIT
+/// comparisons and property tests are reproducible.
+pub trait Operator {
+    /// Human-readable name, e.g. `"A⋈B"`.
+    fn name(&self) -> &str;
+
+    /// The set of sources covered by this operator's output tuples.
+    fn output_schema(&self) -> SourceSet;
+
+    /// Number of input ports.
+    fn num_ports(&self) -> usize;
+
+    /// Process one data message arriving on `port`.
+    fn process(&mut self, port: Port, msg: &DataMessage, ctx: &mut OpContext<'_>) -> OperatorOutput;
+
+    /// Handle a feedback message sent by a downstream consumer.
+    ///
+    /// The default implementation ignores feedback, which is always legal:
+    /// Section III-A notes a producer "may decide to ignore the message and
+    /// keep producing NPRs". The REF baseline relies on this default.
+    fn handle_feedback(&mut self, fb: &Feedback, ctx: &mut OpContext<'_>) -> FeedbackOutcome {
+        let _ = (fb, ctx);
+        FeedbackOutcome::empty()
+    }
+
+    /// Current analytical memory footprint of all containers held by the
+    /// operator (states, MNS buffers, blacklists, …). Must be O(1).
+    fn memory_bytes(&self) -> usize;
+
+    /// Is the operator currently suspended (used by the DOE baseline and by
+    /// scheduling diagnostics)?
+    fn is_suspended(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jit_types::{BaseTuple, SourceId, Value};
+    use std::sync::Arc;
+
+    fn tuple(source: u16, seq: u64) -> Tuple {
+        Tuple::from_base(Arc::new(BaseTuple::new(
+            SourceId(source),
+            seq,
+            Timestamp::from_millis(seq),
+            vec![Value::int(1)],
+        )))
+    }
+
+    /// A trivial pass-through operator used to exercise the trait defaults.
+    struct PassThrough {
+        name: String,
+    }
+
+    impl Operator for PassThrough {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn output_schema(&self) -> SourceSet {
+            SourceSet::single(SourceId(0))
+        }
+        fn num_ports(&self) -> usize {
+            1
+        }
+        fn process(
+            &mut self,
+            _port: Port,
+            msg: &DataMessage,
+            _ctx: &mut OpContext<'_>,
+        ) -> OperatorOutput {
+            OperatorOutput::with_results(vec![msg.clone()])
+        }
+        fn memory_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn data_message_constructors() {
+        let t = tuple(0, 1);
+        let plain = DataMessage::new(t.clone());
+        let marked = DataMessage::marked(t);
+        assert!(!plain.marked);
+        assert!(marked.marked);
+        assert!(plain.size_bytes() > 0);
+    }
+
+    #[test]
+    fn output_and_outcome_emptiness() {
+        assert!(OperatorOutput::empty().is_empty());
+        assert!(FeedbackOutcome::empty().is_empty());
+        let out = OperatorOutput::with_results(vec![DataMessage::new(tuple(0, 1))]);
+        assert!(!out.is_empty());
+        let outcome = FeedbackOutcome {
+            resumed: vec![DataMessage::new(tuple(0, 1))],
+            propagate: Vec::new(),
+        };
+        assert!(!outcome.is_empty());
+    }
+
+    #[test]
+    fn default_feedback_handling_is_a_noop() {
+        let mut op = PassThrough {
+            name: "pass".into(),
+        };
+        let mut metrics = RunMetrics::new();
+        let mut ctx = OpContext::new(Timestamp::ZERO, &mut metrics);
+        let outcome = op.handle_feedback(&Feedback::suspend(vec![tuple(0, 1)]), &mut ctx);
+        assert!(outcome.is_empty());
+        assert!(!op.is_suspended());
+    }
+
+    #[test]
+    fn pass_through_processes() {
+        let mut op = PassThrough {
+            name: "pass".into(),
+        };
+        let mut metrics = RunMetrics::new();
+        let mut ctx = OpContext::new(Timestamp::from_millis(5), &mut metrics);
+        let out = op.process(LEFT, &DataMessage::new(tuple(0, 3)), &mut ctx);
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(ctx.now, Timestamp::from_millis(5));
+        assert_eq!(op.name(), "pass");
+        assert_eq!(op.num_ports(), 1);
+    }
+
+    #[test]
+    fn operator_id_display() {
+        assert_eq!(OperatorId(3).to_string(), "Op3");
+    }
+}

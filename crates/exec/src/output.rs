@@ -1,0 +1,130 @@
+//! Result-set utilities used by correctness checks.
+//!
+//! The key invariant of the whole reproduction is that JIT (and DOE) produce
+//! exactly the same result multiset as REF. These helpers compare result
+//! sets by the identity of their component base tuples, and verify the
+//! temporal-order and window-validity properties of Section II.
+
+use jit_types::{Tuple, TupleKey, Window};
+use std::collections::BTreeMap;
+
+/// The multiset of results, keyed by component identity.
+pub fn result_multiset(results: &[Tuple]) -> BTreeMap<TupleKey, usize> {
+    let mut m = BTreeMap::new();
+    for t in results {
+        *m.entry(t.key()).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Do two result collections contain exactly the same tuples (as multisets)?
+pub fn same_results(a: &[Tuple], b: &[Tuple]) -> bool {
+    result_multiset(a) == result_multiset(b)
+}
+
+/// The results present in `a` but missing from `b` (respecting
+/// multiplicities); useful for debugging divergence.
+pub fn missing_from(a: &[Tuple], b: &[Tuple]) -> Vec<TupleKey> {
+    let mut bm = result_multiset(b);
+    let mut missing = Vec::new();
+    for t in a {
+        let k = t.key();
+        match bm.get_mut(&k) {
+            Some(c) if *c > 0 => *c -= 1,
+            _ => missing.push(k),
+        }
+    }
+    missing
+}
+
+/// Does any result appear more than once?
+pub fn has_duplicates(results: &[Tuple]) -> bool {
+    result_multiset(results).values().any(|&c| c > 1)
+}
+
+/// Are the results in non-decreasing timestamp order (the reporting
+/// requirement of Section II)?
+pub fn is_temporally_ordered(results: &[Tuple]) -> bool {
+    results.windows(2).all(|w| w[0].ts() <= w[1].ts())
+}
+
+/// Does every result respect the window: all its components pairwise within
+/// `w` of each other?
+pub fn all_within_window(results: &[Tuple], window: Window) -> bool {
+    results
+        .iter()
+        .all(|t| t.ts().saturating_sub(t.min_ts()) <= window.length)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jit_types::{BaseTuple, Duration, SourceId, Timestamp, Value};
+    use std::sync::Arc;
+
+    fn pair(a_seq: u64, b_seq: u64, a_ts: u64, b_ts: u64) -> Tuple {
+        let a = Tuple::from_base(Arc::new(BaseTuple::new(
+            SourceId(0),
+            a_seq,
+            Timestamp::from_millis(a_ts),
+            vec![Value::int(1)],
+        )));
+        let b = Tuple::from_base(Arc::new(BaseTuple::new(
+            SourceId(1),
+            b_seq,
+            Timestamp::from_millis(b_ts),
+            vec![Value::int(1)],
+        )));
+        a.join(&b).unwrap()
+    }
+
+    #[test]
+    fn multiset_counts_duplicates() {
+        let r = vec![pair(0, 0, 0, 1), pair(0, 0, 0, 1), pair(1, 0, 5, 1)];
+        let m = result_multiset(&r);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[&pair(0, 0, 0, 1).key()], 2);
+        assert!(has_duplicates(&r));
+        assert!(!has_duplicates(&r[1..]));
+    }
+
+    #[test]
+    fn same_results_is_order_insensitive() {
+        let a = vec![pair(0, 0, 0, 1), pair(1, 1, 2, 3)];
+        let b = vec![pair(1, 1, 2, 3), pair(0, 0, 0, 1)];
+        assert!(same_results(&a, &b));
+        let c = vec![pair(1, 1, 2, 3)];
+        assert!(!same_results(&a, &c));
+        // multiplicity matters
+        let d = vec![pair(0, 0, 0, 1), pair(0, 0, 0, 1)];
+        let e = vec![pair(0, 0, 0, 1)];
+        assert!(!same_results(&d, &e));
+    }
+
+    #[test]
+    fn missing_from_reports_the_difference() {
+        let a = vec![pair(0, 0, 0, 1), pair(1, 1, 2, 3)];
+        let b = vec![pair(0, 0, 0, 1)];
+        let missing = missing_from(&a, &b);
+        assert_eq!(missing, vec![pair(1, 1, 2, 3).key()]);
+        assert!(missing_from(&b, &a).is_empty());
+    }
+
+    #[test]
+    fn temporal_order_check() {
+        let ordered = vec![pair(0, 0, 0, 10), pair(1, 1, 5, 20), pair(2, 2, 20, 20)];
+        assert!(is_temporally_ordered(&ordered));
+        let unordered = vec![pair(0, 0, 0, 30), pair(1, 1, 5, 20)];
+        assert!(!is_temporally_ordered(&unordered));
+        assert!(is_temporally_ordered(&[]));
+    }
+
+    #[test]
+    fn window_validity_check() {
+        let w = Window::new(Duration::from_secs(10));
+        let ok = vec![pair(0, 0, 0, 9_000)];
+        let bad = vec![pair(0, 0, 0, 11_000)];
+        assert!(all_within_window(&ok, w));
+        assert!(!all_within_window(&bad, w));
+    }
+}

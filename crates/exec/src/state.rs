@@ -1,0 +1,234 @@
+//! Sliding-window operator state.
+//!
+//! An operator state (the rectangles `S_A`, `S_B`, `S_AB`, … of Figure 1b)
+//! holds the tuples that arrived on one input in the past and are still
+//! alive under the window. The state supports the three steps of the
+//! purge–probe–insert routine of window joins (Kang et al., reference [16]
+//! in the paper) plus the operations the JIT machinery needs: draining
+//! selected tuples into a blacklist and appending resumed tuples.
+
+use jit_types::{Timestamp, Tuple, Window};
+use std::fmt;
+
+/// One tuple stored in an operator state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredTuple {
+    /// The stored tuple.
+    pub tuple: Tuple,
+    /// When the tuple was inserted into this state (application time). Used
+    /// by `Resume_Production` to avoid regenerating results that were
+    /// already produced before a suspension.
+    pub inserted_at: Timestamp,
+}
+
+/// A window-bounded collection of tuples with running byte accounting.
+#[derive(Debug, Clone, Default)]
+pub struct OperatorState {
+    name: String,
+    entries: Vec<StoredTuple>,
+    bytes: usize,
+}
+
+impl OperatorState {
+    /// An empty state with a diagnostic name (e.g. `"S_AB"`).
+    pub fn new(name: impl Into<String>) -> Self {
+        OperatorState {
+            name: name.into(),
+            entries: Vec::new(),
+            bytes: 0,
+        }
+    }
+
+    /// The state's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the state empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Running analytical size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The stored entries, in insertion order.
+    pub fn entries(&self) -> &[StoredTuple] {
+        &self.entries
+    }
+
+    /// Iterate over stored entries.
+    pub fn iter(&self) -> impl Iterator<Item = &StoredTuple> {
+        self.entries.iter()
+    }
+
+    /// Insert a tuple at time `now`.
+    pub fn insert(&mut self, tuple: Tuple, now: Timestamp) {
+        self.bytes += tuple.size_bytes();
+        self.entries.push(StoredTuple {
+            tuple,
+            inserted_at: now,
+        });
+    }
+
+    /// Remove every tuple that has expired by `now` under `window`; returns
+    /// how many were removed.
+    ///
+    /// Expiry is based on the tuple's own timestamp (its lifespan is
+    /// `[ts, ts + w)`), not on when it was inserted — a resumed intermediate
+    /// result inserted late still expires at its original time.
+    pub fn purge(&mut self, window: Window, now: Timestamp) -> usize {
+        let before = self.entries.len();
+        let mut freed = 0usize;
+        self.entries.retain(|e| {
+            if window.is_expired(e.tuple.ts(), now) {
+                freed += e.tuple.size_bytes();
+                false
+            } else {
+                true
+            }
+        });
+        self.bytes -= freed;
+        before - self.entries.len()
+    }
+
+    /// Remove and return every entry for which `pred` holds (used by
+    /// `Suspend_Production` to move super-tuples of an MNS into a blacklist).
+    pub fn drain_where(&mut self, mut pred: impl FnMut(&StoredTuple) -> bool) -> Vec<StoredTuple> {
+        let mut kept = Vec::with_capacity(self.entries.len());
+        let mut drained = Vec::new();
+        for e in self.entries.drain(..) {
+            if pred(&e) {
+                self.bytes -= e.tuple.size_bytes();
+                drained.push(e);
+            } else {
+                kept.push(e);
+            }
+        }
+        self.entries = kept;
+        drained
+    }
+
+    /// Re-insert a previously drained entry, preserving its original
+    /// insertion time (used by `Resume_Production`).
+    pub fn restore(&mut self, entry: StoredTuple) {
+        self.bytes += entry.tuple.size_bytes();
+        self.entries.push(entry);
+    }
+
+    /// Remove everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.bytes = 0;
+    }
+}
+
+impl fmt::Display for OperatorState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{} tuples, {} B]", self.name, self.len(), self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jit_types::{BaseTuple, Duration, SourceId, Value};
+    use std::sync::Arc;
+
+    fn tuple(seq: u64, ts_ms: u64) -> Tuple {
+        Tuple::from_base(Arc::new(BaseTuple::new(
+            SourceId(0),
+            seq,
+            Timestamp::from_millis(ts_ms),
+            vec![Value::int(seq as i64)],
+        )))
+    }
+
+    #[test]
+    fn insert_updates_len_and_bytes() {
+        let mut s = OperatorState::new("S_A");
+        assert!(s.is_empty());
+        let t = tuple(1, 100);
+        let sz = t.size_bytes();
+        s.insert(t, Timestamp::from_millis(100));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.size_bytes(), sz);
+        assert_eq!(s.name(), "S_A");
+        assert!(s.to_string().contains("S_A"));
+    }
+
+    #[test]
+    fn purge_removes_expired_only() {
+        let w = Window::new(Duration::from_secs(10));
+        let mut s = OperatorState::new("S");
+        s.insert(tuple(1, 0), Timestamp::ZERO);
+        s.insert(tuple(2, 5_000), Timestamp::from_millis(5_000));
+        s.insert(tuple(3, 9_000), Timestamp::from_millis(9_000));
+        // At t = 12s the first tuple (alive [0,10s)) has expired.
+        let removed = s.purge(w, Timestamp::from_millis(12_000));
+        assert_eq!(removed, 1);
+        assert_eq!(s.len(), 2);
+        // Bytes shrink consistently.
+        let expected: usize = s.iter().map(|e| e.tuple.size_bytes()).sum();
+        assert_eq!(s.size_bytes(), expected);
+        // Nothing more to purge at the same instant.
+        assert_eq!(s.purge(w, Timestamp::from_millis(12_000)), 0);
+    }
+
+    #[test]
+    fn purge_uses_tuple_timestamp_not_insertion_time() {
+        let w = Window::new(Duration::from_secs(10));
+        let mut s = OperatorState::new("S");
+        // Inserted late (resumed), but carries an old timestamp.
+        s.insert(tuple(1, 0), Timestamp::from_millis(9_999));
+        assert_eq!(s.purge(w, Timestamp::from_millis(10_000)), 1);
+        assert!(s.is_empty());
+        assert_eq!(s.size_bytes(), 0);
+    }
+
+    #[test]
+    fn drain_where_moves_matching_entries() {
+        let mut s = OperatorState::new("S");
+        for i in 0..6 {
+            s.insert(tuple(i, i * 100), Timestamp::from_millis(i * 100));
+        }
+        let drained = s.drain_where(|e| e.tuple.parts()[0].seq % 2 == 0);
+        assert_eq!(drained.len(), 3);
+        assert_eq!(s.len(), 3);
+        let expected: usize = s.iter().map(|e| e.tuple.size_bytes()).sum();
+        assert_eq!(s.size_bytes(), expected);
+        // Restoring brings them back with their original insertion time.
+        let original_time = drained[0].inserted_at;
+        for d in drained {
+            s.restore(d);
+        }
+        assert_eq!(s.len(), 6);
+        assert!(s.iter().any(|e| e.inserted_at == original_time));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut s = OperatorState::new("S");
+        s.insert(tuple(1, 0), Timestamp::ZERO);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.size_bytes(), 0);
+    }
+
+    #[test]
+    fn entries_preserve_insertion_order() {
+        let mut s = OperatorState::new("S");
+        for i in 0..5 {
+            s.insert(tuple(i, i), Timestamp::from_millis(i));
+        }
+        let seqs: Vec<u64> = s.iter().map(|e| e.tuple.parts()[0].seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+}

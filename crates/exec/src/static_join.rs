@@ -1,0 +1,161 @@
+//! Join of a stream with a static relation.
+//!
+//! Section V (Figure 9b) has the consumer `Op2` join the producer's output
+//! with a static relation `R_C` instead of another stream. The relation never
+//! changes, so such a consumer can issue suspension feedback but never needs
+//! resumption.
+
+use crate::operator::{DataMessage, OpContext, Operator, OperatorOutput, Port};
+use jit_metrics::CostKind;
+use jit_types::{BaseTuple, PredicateSet, SourceId, SourceSet, Tuple};
+use std::sync::Arc;
+
+/// Joins each streaming input tuple against a fixed, in-memory relation.
+#[derive(Debug)]
+pub struct StaticJoinOperator {
+    name: String,
+    input_schema: SourceSet,
+    relation_source: SourceId,
+    relation: Vec<Arc<BaseTuple>>,
+    relation_bytes: usize,
+    predicates: PredicateSet,
+}
+
+impl StaticJoinOperator {
+    /// Create the operator. `relation` plays the role of `R_C`; its tuples
+    /// must all come from `relation_source`.
+    pub fn new(
+        name: impl Into<String>,
+        input_schema: SourceSet,
+        relation_source: SourceId,
+        relation: Vec<Arc<BaseTuple>>,
+        predicates: PredicateSet,
+    ) -> Self {
+        let relation_bytes = relation.iter().map(|t| t.size_bytes()).sum();
+        StaticJoinOperator {
+            name: name.into(),
+            input_schema,
+            relation_source,
+            relation,
+            relation_bytes,
+            predicates,
+        }
+    }
+
+    /// Number of tuples in the static relation.
+    pub fn relation_len(&self) -> usize {
+        self.relation.len()
+    }
+}
+
+impl Operator for StaticJoinOperator {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_schema(&self) -> SourceSet {
+        self.input_schema.union(SourceSet::single(self.relation_source))
+    }
+
+    fn num_ports(&self) -> usize {
+        1
+    }
+
+    fn process(&mut self, _port: Port, msg: &DataMessage, ctx: &mut OpContext<'_>) -> OperatorOutput {
+        ctx.metrics.stats.state_probes += 1;
+        let mut results = Vec::new();
+        let mut evals = 0u64;
+        for rel_tuple in &self.relation {
+            ctx.metrics.stats.probe_pairs += 1;
+            let rel = Tuple::from_base(rel_tuple.clone());
+            if self.predicates.join_matches(&msg.tuple, &rel, &mut evals) {
+                if let Ok(joined) = msg.tuple.join(&rel) {
+                    ctx.metrics.charge(CostKind::ResultBuild, 1);
+                    results.push(DataMessage {
+                        tuple: joined,
+                        marked: msg.marked,
+                    });
+                }
+            }
+        }
+        ctx.metrics.charge(CostKind::ProbePair, self.relation.len() as u64);
+        ctx.metrics.stats.predicate_evals += evals;
+        ctx.metrics.charge(CostKind::PredicateEval, evals);
+        OperatorOutput::with_results(results)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.relation_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jit_metrics::RunMetrics;
+    use jit_types::{ColumnRef, EquiPredicate, Timestamp, Value};
+
+    fn rel_tuple(seq: u64, val: i64) -> Arc<BaseTuple> {
+        Arc::new(BaseTuple::new(
+            SourceId(2),
+            seq,
+            Timestamp::ZERO,
+            vec![Value::int(val)],
+        ))
+    }
+
+    fn stream_msg(val: i64) -> DataMessage {
+        DataMessage::new(Tuple::from_base(Arc::new(BaseTuple::new(
+            SourceId(0),
+            0,
+            Timestamp::from_millis(10),
+            vec![Value::int(val)],
+        ))))
+    }
+
+    fn operator() -> StaticJoinOperator {
+        // Predicate A.x0 = C.x0; relation holds values 1, 2, 2.
+        StaticJoinOperator::new(
+            "⋈ R_C",
+            SourceSet::single(SourceId(0)),
+            SourceId(2),
+            vec![rel_tuple(0, 1), rel_tuple(1, 2), rel_tuple(2, 2)],
+            PredicateSet::from_predicates(vec![EquiPredicate::new(
+                ColumnRef::new(SourceId(0), 0),
+                ColumnRef::new(SourceId(2), 0),
+            )]),
+        )
+    }
+
+    #[test]
+    fn joins_against_every_matching_relation_tuple() {
+        let mut op = operator();
+        let mut metrics = RunMetrics::new();
+        let mut ctx = OpContext::new(Timestamp::from_millis(10), &mut metrics);
+        let out = op.process(0, &stream_msg(2), &mut ctx);
+        assert_eq!(out.results.len(), 2);
+        assert!(out.results.iter().all(|r| r.tuple.num_parts() == 2));
+    }
+
+    #[test]
+    fn no_match_no_results() {
+        let mut op = operator();
+        let mut metrics = RunMetrics::new();
+        let mut ctx = OpContext::new(Timestamp::from_millis(10), &mut metrics);
+        let out = op.process(0, &stream_msg(7), &mut ctx);
+        assert!(out.results.is_empty());
+        assert_eq!(metrics.stats.probe_pairs, 3);
+    }
+
+    #[test]
+    fn metadata_and_memory() {
+        let op = operator();
+        assert_eq!(op.relation_len(), 3);
+        assert_eq!(op.num_ports(), 1);
+        assert!(op.memory_bytes() > 0);
+        assert_eq!(
+            op.output_schema(),
+            SourceSet::from_iter([SourceId(0), SourceId(2)])
+        );
+    }
+}

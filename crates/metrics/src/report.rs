@@ -1,0 +1,192 @@
+//! Measurement snapshots and run-level metric bundles.
+
+use crate::cost::{CostKind, CostModel, CostTracker};
+use crate::counters::ExecStats;
+use crate::memory::{MemComponentId, MemoryTracker};
+use serde::{Deserialize, Serialize};
+
+/// Everything an execution mutates while running: counters, cost tracker and
+/// memory tracker. The executor owns one of these and threads `&mut` access
+/// through every operator call.
+#[derive(Debug, Default, Clone)]
+pub struct RunMetrics {
+    /// Event counters.
+    pub stats: ExecStats,
+    /// CPU cost accounting (abstract units + wall clock).
+    pub cost: CostTracker,
+    /// Analytical memory accounting.
+    pub memory: MemoryTracker,
+}
+
+impl RunMetrics {
+    /// Fresh metrics with the default cost model.
+    pub fn new() -> Self {
+        RunMetrics::default()
+    }
+
+    /// Fresh metrics with a custom cost model.
+    pub fn with_cost_model(model: CostModel) -> Self {
+        RunMetrics {
+            stats: ExecStats::default(),
+            cost: CostTracker::new(model),
+            memory: MemoryTracker::new(),
+        }
+    }
+
+    /// Charge `count` operations of `kind` to the cost model.
+    pub fn charge(&mut self, kind: CostKind, count: u64) {
+        self.cost.charge(kind, count);
+    }
+
+    /// Register a memory component.
+    pub fn register_memory(&mut self, name: impl Into<String>) -> MemComponentId {
+        self.memory.register(name)
+    }
+
+    /// Freeze the wall clock and produce an immutable snapshot.
+    pub fn finish(mut self) -> MetricsSnapshot {
+        self.cost.stop_wall_clock();
+        MetricsSnapshot {
+            stats: self.stats,
+            cost_units: self.cost.total_units(),
+            wall_seconds: self.cost.wall_seconds(),
+            peak_memory_bytes: self.memory.peak_bytes(),
+            final_memory_bytes: self.memory.current_bytes(),
+        }
+    }
+
+    /// Produce a snapshot without consuming the metrics (wall clock keeps
+    /// running).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            stats: self.stats,
+            cost_units: self.cost.total_units(),
+            wall_seconds: self.cost.wall_seconds(),
+            peak_memory_bytes: self.memory.peak_bytes(),
+            final_memory_bytes: self.memory.current_bytes(),
+        }
+    }
+}
+
+/// An immutable summary of one execution, serialisable for reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Event counters.
+    pub stats: ExecStats,
+    /// Total abstract CPU cost units.
+    pub cost_units: u64,
+    /// Wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Peak analytical memory in bytes.
+    pub peak_memory_bytes: usize,
+    /// Memory still held at the end of the run, in bytes.
+    pub final_memory_bytes: usize,
+}
+
+impl MetricsSnapshot {
+    /// Peak memory in kilobytes (paper plots use KB).
+    pub fn peak_memory_kb(&self) -> f64 {
+        self.peak_memory_bytes as f64 / 1024.0
+    }
+
+    /// Cost units scaled to pseudo-seconds for readability
+    /// (1 M units ≈ 1 pseudo-second; purely a display convention).
+    pub fn cost_pseudo_seconds(&self) -> f64 {
+        self.cost_units as f64 / 1.0e6
+    }
+
+    /// Ratio of this run's cost to another's (`self / other`), `inf` when the
+    /// other is free.
+    pub fn cost_ratio_to(&self, other: &MetricsSnapshot) -> f64 {
+        if other.cost_units == 0 {
+            f64::INFINITY
+        } else {
+            self.cost_units as f64 / other.cost_units as f64
+        }
+    }
+
+    /// Ratio of this run's peak memory to another's.
+    pub fn memory_ratio_to(&self, other: &MetricsSnapshot) -> f64 {
+        if other.peak_memory_bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.peak_memory_bytes as f64 / other.peak_memory_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_produces_consistent_snapshot() {
+        let mut m = RunMetrics::new();
+        m.stats.tuples_arrived = 3;
+        m.charge(CostKind::ProbePair, 4);
+        let s_id = m.register_memory("state");
+        m.memory.set(s_id, 2048);
+        m.memory.set(s_id, 1024);
+        let snap = m.finish();
+        assert_eq!(snap.stats.tuples_arrived, 3);
+        assert!(snap.cost_units > 0);
+        assert_eq!(snap.peak_memory_bytes, 2048);
+        assert_eq!(snap.final_memory_bytes, 1024);
+        assert!(snap.wall_seconds >= 0.0);
+        assert!((snap.peak_memory_kb() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_without_consuming() {
+        let mut m = RunMetrics::new();
+        m.charge(CostKind::ResultBuild, 1);
+        let first = m.snapshot();
+        m.charge(CostKind::ResultBuild, 1);
+        let second = m.snapshot();
+        assert!(second.cost_units > first.cost_units);
+    }
+
+    #[test]
+    fn ratios() {
+        let a = MetricsSnapshot {
+            stats: ExecStats::default(),
+            cost_units: 100,
+            wall_seconds: 0.0,
+            peak_memory_bytes: 4096,
+            final_memory_bytes: 0,
+        };
+        let b = MetricsSnapshot {
+            cost_units: 50,
+            peak_memory_bytes: 1024,
+            ..a.clone()
+        };
+        assert!((a.cost_ratio_to(&b) - 2.0).abs() < 1e-12);
+        assert!((a.memory_ratio_to(&b) - 4.0).abs() < 1e-12);
+        let zero = MetricsSnapshot {
+            cost_units: 0,
+            peak_memory_bytes: 0,
+            ..a.clone()
+        };
+        assert!(a.cost_ratio_to(&zero).is_infinite());
+        assert!(a.memory_ratio_to(&zero).is_infinite());
+    }
+
+    #[test]
+    fn snapshot_serialises() {
+        let snap = RunMetrics::new().finish();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn custom_cost_model_is_used() {
+        let model = CostModel {
+            result_build: 1_000,
+            ..CostModel::default()
+        };
+        let mut m = RunMetrics::with_cost_model(model);
+        m.charge(CostKind::ResultBuild, 1);
+        assert_eq!(m.cost.total_units(), 1_000);
+    }
+}

@@ -1,0 +1,201 @@
+//! Building executable plans from shapes.
+
+use crate::shapes::{PlanInput, PlanShape};
+use jit_core::policy::ExecutionMode;
+use jit_core::JitJoinOperator;
+use jit_exec::eddy::{EddyOperator, RoutingPolicy};
+use jit_exec::join::RefJoinOperator;
+use jit_exec::mjoin::HalfJoinOperator;
+use jit_exec::operator::{Operator, OperatorId};
+use jit_exec::plan::{ExecutablePlan, Input, PlanBuilder, PlanError};
+use jit_types::{PredicateSet, SourceId, SourceSet, Window};
+
+/// Build an executable binary-join-tree plan for the given shape and
+/// execution mode.
+///
+/// * [`ExecutionMode::Ref`] instantiates [`RefJoinOperator`]s (no feedback);
+/// * [`ExecutionMode::Doe`] and [`ExecutionMode::Jit`] instantiate
+///   [`JitJoinOperator`]s under the corresponding policy.
+pub fn build_tree_plan(
+    shape: &PlanShape,
+    predicates: &PredicateSet,
+    window: Window,
+    mode: ExecutionMode,
+) -> Result<ExecutablePlan, PlanError> {
+    let mut builder = PlanBuilder::new();
+    let mut op_ids: Vec<OperatorId> = Vec::new();
+    let schemas = shape.node_schemas();
+    for (idx, node) in shape.nodes().iter().enumerate() {
+        let left_schema = resolve_schema(node.left, &schemas);
+        let right_schema = resolve_schema(node.right, &schemas);
+        let name = format!("{}⋈{}", left_schema, right_schema);
+        let operator: Box<dyn Operator> = match mode.policy() {
+            None => Box::new(RefJoinOperator::new(
+                name,
+                left_schema,
+                right_schema,
+                predicates.clone(),
+                window,
+            )),
+            Some(policy) => Box::new(JitJoinOperator::new(
+                name,
+                left_schema,
+                right_schema,
+                predicates.clone(),
+                window,
+                policy,
+            )),
+        };
+        let left_input = resolve_input(node.left, &op_ids);
+        let right_input = resolve_input(node.right, &op_ids);
+        let id = builder.add_operator(operator, vec![left_input, right_input]);
+        debug_assert_eq!(id.0, idx);
+        op_ids.push(id);
+    }
+    builder.build()
+}
+
+/// Build an M-Join plan (Figure 2a): for each source, a linear path of
+/// half-join operators probing the states of the other sources. No
+/// intermediate results are stored. Always runs in REF mode (the JIT
+/// extension for M-Joins is discussed but not evaluated in the paper).
+pub fn build_mjoin_plan(
+    num_sources: usize,
+    predicates: &PredicateSet,
+    window: Window,
+) -> Result<ExecutablePlan, PlanError> {
+    let mut builder = PlanBuilder::new();
+    for start in 0..num_sources {
+        // The path for `start` probes the states of the other sources in
+        // increasing id order.
+        let mut pipeline_schema = SourceSet::single(SourceId(start as u16));
+        let mut upstream: Option<OperatorId> = None;
+        for other in (0..num_sources).filter(|&o| o != start) {
+            let state_schema = SourceSet::single(SourceId(other as u16));
+            let name = format!("{}⋉S_{}", pipeline_schema, SourceId(other as u16));
+            let op = HalfJoinOperator::new(
+                name,
+                pipeline_schema,
+                state_schema,
+                predicates.clone(),
+                window,
+            );
+            let probe_input = match upstream {
+                None => Input::Source(SourceId(start as u16)),
+                Some(prev) => Input::Operator(prev),
+            };
+            let id = builder.add_operator(
+                Box::new(op),
+                vec![probe_input, Input::Source(SourceId(other as u16))],
+            );
+            upstream = Some(id);
+            pipeline_schema = pipeline_schema.union(state_schema);
+        }
+    }
+    builder.build()
+}
+
+/// Build an Eddy plan (Figure 2b): a single n-ary operator holding one STeM
+/// per source and routing arrivals adaptively.
+pub fn build_eddy_plan(
+    num_sources: usize,
+    predicates: &PredicateSet,
+    window: Window,
+    policy: RoutingPolicy,
+) -> Result<ExecutablePlan, PlanError> {
+    let mut builder = PlanBuilder::new();
+    let eddy = EddyOperator::new("eddy", num_sources, predicates.clone(), window, policy);
+    let inputs = (0..num_sources)
+        .map(|i| Input::Source(SourceId(i as u16)))
+        .collect();
+    builder.add_operator(Box::new(eddy), inputs);
+    builder.build()
+}
+
+fn resolve_schema(input: PlanInput, node_schemas: &[SourceSet]) -> SourceSet {
+    match input {
+        PlanInput::Source(i) => SourceSet::single(SourceId(i as u16)),
+        PlanInput::Node(i) => node_schemas[i],
+    }
+}
+
+fn resolve_input(input: PlanInput, ops: &[OperatorId]) -> Input {
+    match input {
+        PlanInput::Source(i) => Input::Source(SourceId(i as u16)),
+        PlanInput::Node(i) => Input::Operator(ops[i]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jit_core::policy::JitPolicy;
+
+    #[test]
+    fn ref_tree_plan_has_one_operator_per_join() {
+        for n in 3..=8 {
+            let shape = PlanShape::bushy(n);
+            let plan = build_tree_plan(
+                &shape,
+                &PredicateSet::clique(n),
+                Window::minutes(5.0),
+                ExecutionMode::Ref,
+            )
+            .unwrap();
+            assert_eq!(plan.num_operators(), n - 1);
+            assert_eq!(plan.sinks().len(), 1);
+        }
+    }
+
+    #[test]
+    fn jit_tree_plan_uses_jit_operators() {
+        let shape = PlanShape::left_deep(4);
+        let plan = build_tree_plan(
+            &shape,
+            &PredicateSet::clique(4),
+            Window::minutes(5.0),
+            ExecutionMode::Jit(JitPolicy::full()),
+        )
+        .unwrap();
+        // All operator names follow the schema⋈schema convention, and the
+        // description mentions the sink.
+        let desc = plan.describe();
+        assert!(desc.contains("(sink)"));
+        assert_eq!(plan.num_operators(), 3);
+    }
+
+    #[test]
+    fn doe_mode_builds() {
+        let plan = build_tree_plan(
+            &PlanShape::bushy(4),
+            &PredicateSet::clique(4),
+            Window::minutes(5.0),
+            ExecutionMode::Doe,
+        )
+        .unwrap();
+        assert_eq!(plan.num_operators(), 3);
+    }
+
+    #[test]
+    fn mjoin_plan_has_paths_per_source() {
+        let plan = build_mjoin_plan(3, &PredicateSet::clique(3), Window::minutes(5.0)).unwrap();
+        // 3 sources × 2 half-joins per path.
+        assert_eq!(plan.num_operators(), 6);
+        // The last operator of each path is a sink.
+        assert_eq!(plan.sinks().len(), 3);
+    }
+
+    #[test]
+    fn eddy_plan_is_single_operator() {
+        let plan = build_eddy_plan(
+            4,
+            &PredicateSet::clique(4),
+            Window::minutes(5.0),
+            RoutingPolicy::SmallestStateFirst,
+        )
+        .unwrap();
+        assert_eq!(plan.num_operators(), 1);
+        assert_eq!(plan.sinks().len(), 1);
+        assert_eq!(plan.source_subscribers.len(), 4);
+    }
+}

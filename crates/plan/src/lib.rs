@@ -1,0 +1,27 @@
+//! # jit-plan
+//!
+//! Query-plan construction and the end-to-end query runtime.
+//!
+//! * [`shapes`] — the plan shapes of Table II (bushy and left-deep binary
+//!   join trees for `N = 3..8`), plus M-Join and Eddy alternatives.
+//! * [`builder`] — turns a shape + predicates + window + execution mode
+//!   (REF / DOE / JIT) into an executable plan of `jit-exec` operators.
+//! * [`cql`] — a small CQL-subset parser for queries like the one in
+//!   Figure 1a (`SELECT * FROM A [RANGE 5 minutes], … WHERE A.x = B.x …`).
+//! * [`runtime`] — [`runtime::QueryRuntime`] generates (or accepts) an
+//!   arrival trace and drives it through the plan, returning results and a
+//!   metrics snapshot; this is the entry point examples, tests and the
+//!   experiment harness all share.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod builder;
+pub mod cql;
+pub mod runtime;
+pub mod shapes;
+
+pub use builder::{build_eddy_plan, build_mjoin_plan, build_tree_plan};
+pub use cql::{parse_cql, CqlQuery};
+pub use runtime::{QueryRuntime, RunOutcome};
+pub use shapes::{JoinNode, PlanInput, PlanShape, TreeShape};

@@ -1,0 +1,169 @@
+//! End-to-end query runtime: workload → plan → execution → outcome.
+
+use crate::builder::build_tree_plan;
+use crate::shapes::PlanShape;
+use jit_core::policy::ExecutionMode;
+use jit_exec::executor::{Executor, ExecutorConfig};
+use jit_exec::plan::PlanError;
+use jit_metrics::MetricsSnapshot;
+use jit_stream::{Trace, WorkloadGenerator, WorkloadSpec};
+use jit_types::Tuple;
+
+/// The outcome of one query execution.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The execution mode that produced this outcome.
+    pub mode_label: &'static str,
+    /// Final results (empty if collection was disabled).
+    pub results: Vec<Tuple>,
+    /// Number of final results emitted (counted even without collection).
+    pub results_count: u64,
+    /// Temporal-order violations observed at the sink (0 for a correct run).
+    pub order_violations: u64,
+    /// Metrics snapshot (cost units, wall time, peak memory, counters).
+    pub snapshot: MetricsSnapshot,
+}
+
+/// Convenience driver shared by examples, tests, the harness and the benches.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct QueryRuntime;
+
+impl QueryRuntime {
+    /// Generate the workload described by `spec` and execute it on the given
+    /// plan shape under the given mode.
+    pub fn run(
+        spec: &WorkloadSpec,
+        shape: &PlanShape,
+        mode: ExecutionMode,
+        config: ExecutorConfig,
+    ) -> Result<RunOutcome, PlanError> {
+        let trace = WorkloadGenerator::generate(spec);
+        Self::run_trace(&trace, spec, shape, mode, config)
+    }
+
+    /// Execute a pre-generated trace (so REF / DOE / JIT see identical input).
+    pub fn run_trace(
+        trace: &Trace,
+        spec: &WorkloadSpec,
+        shape: &PlanShape,
+        mode: ExecutionMode,
+        config: ExecutorConfig,
+    ) -> Result<RunOutcome, PlanError> {
+        let plan = build_tree_plan(shape, &spec.predicates(), spec.window(), mode)?;
+        let mut executor = Executor::new(plan, config);
+        for event in trace.iter() {
+            executor.ingest(event.source, event.tuple.clone());
+        }
+        let results_count = executor.results_count();
+        let order_violations = executor.order_violations();
+        let (results, snapshot) = executor.finish();
+        Ok(RunOutcome {
+            mode_label: mode.label(),
+            results,
+            results_count,
+            order_violations,
+            snapshot,
+        })
+    }
+
+    /// Run the same trace under several modes and return the outcomes in the
+    /// same order.
+    pub fn compare(
+        spec: &WorkloadSpec,
+        shape: &PlanShape,
+        modes: &[ExecutionMode],
+        config: ExecutorConfig,
+    ) -> Result<Vec<RunOutcome>, PlanError> {
+        let trace = WorkloadGenerator::generate(spec);
+        modes
+            .iter()
+            .map(|mode| Self::run_trace(&trace, spec, shape, *mode, config.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jit_core::policy::JitPolicy;
+    use jit_exec::output;
+    use jit_types::Duration;
+
+    fn small_spec() -> WorkloadSpec {
+        WorkloadSpec::bushy_default()
+            .with_sources(3)
+            .with_rate(1.0)
+            .with_dmax(10)
+            .with_window_minutes(2.0)
+            .with_duration(Duration::from_secs(180))
+            .with_seed(11)
+    }
+
+    #[test]
+    fn ref_and_jit_agree_on_results() {
+        let spec = small_spec();
+        let shape = PlanShape::left_deep(3);
+        let outcomes = QueryRuntime::compare(
+            &spec,
+            &shape,
+            &[
+                ExecutionMode::Ref,
+                ExecutionMode::Jit(JitPolicy::full()),
+                ExecutionMode::Doe,
+            ],
+            ExecutorConfig::default(),
+        )
+        .unwrap();
+        let [ref_run, jit_run, doe_run] = &outcomes[..] else {
+            panic!("expected three outcomes");
+        };
+        assert!(ref_run.results_count > 0, "workload produced no results");
+        assert!(output::same_results(&ref_run.results, &jit_run.results));
+        assert!(output::same_results(&ref_run.results, &doe_run.results));
+        assert_eq!(jit_run.order_violations, 0);
+        assert!(!output::has_duplicates(&jit_run.results));
+    }
+
+    #[test]
+    fn jit_costs_less_than_ref_on_selective_workload() {
+        // High selectivity (large dmax relative to window content) is where
+        // the paper's savings come from.
+        let spec = WorkloadSpec::bushy_default()
+            .with_sources(4)
+            .with_rate(1.0)
+            .with_dmax(200)
+            .with_window_minutes(5.0)
+            .with_duration(Duration::from_secs(300))
+            .with_seed(3);
+        let shape = PlanShape::bushy(4);
+        let outcomes = QueryRuntime::compare(
+            &spec,
+            &shape,
+            &[ExecutionMode::Ref, ExecutionMode::Jit(JitPolicy::full())],
+            ExecutorConfig {
+                collect_results: false,
+                check_temporal_order: true,
+            },
+        )
+        .unwrap();
+        let (ref_run, jit_run) = (&outcomes[0], &outcomes[1]);
+        assert!(
+            jit_run.snapshot.stats.intermediate_produced
+                <= ref_run.snapshot.stats.intermediate_produced
+        );
+        assert!(jit_run.snapshot.stats.intermediate_suppressed > 0);
+    }
+
+    #[test]
+    fn mode_labels_are_propagated() {
+        let spec = small_spec().with_duration(Duration::from_secs(30));
+        let out = QueryRuntime::run(
+            &spec,
+            &PlanShape::left_deep(3),
+            ExecutionMode::Ref,
+            ExecutorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.mode_label, "REF");
+    }
+}

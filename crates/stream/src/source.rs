@@ -1,0 +1,198 @@
+//! Per-source workload parameters.
+
+use crate::skew::ZipfSampler;
+use jit_types::Value;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The distribution a source draws its column values from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ValueDomain {
+    /// Uniform integers in `[1..=max]` — the paper's default.
+    Uniform {
+        /// Largest value (the paper's `dmax`).
+        max: u64,
+    },
+    /// Zipf-distributed integers in `[1..=max]` with the given exponent —
+    /// a skew extension beyond the paper (hot values appear often).
+    Zipf {
+        /// Largest value.
+        max: u64,
+        /// Skew exponent (`s > 0`); larger means more skew.
+        exponent: f64,
+    },
+}
+
+impl ValueDomain {
+    /// The uniform domain `[1..=dmax]`.
+    pub fn uniform(dmax: u64) -> Self {
+        ValueDomain::Uniform { max: dmax }
+    }
+
+    /// The largest value of the domain.
+    pub fn max(&self) -> u64 {
+        match self {
+            ValueDomain::Uniform { max } => *max,
+            ValueDomain::Zipf { max, .. } => *max,
+        }
+    }
+
+    /// Draw one value.
+    pub fn sample(&self, rng: &mut impl Rng) -> Value {
+        match self {
+            ValueDomain::Uniform { max } => Value::int(rng.gen_range(1..=(*max).max(1)) as i64),
+            ValueDomain::Zipf { max, exponent } => {
+                let sampler = ZipfSampler::new(*max, *exponent);
+                Value::int(sampler.sample(rng) as i64)
+            }
+        }
+    }
+}
+
+/// Parameters of one streaming source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceSpec {
+    /// Human-readable name (matches the catalog entry).
+    pub name: String,
+    /// Mean arrival rate in tuples per second (the paper's `λ`).
+    pub rate_per_sec: f64,
+    /// Number of columns each tuple carries.
+    pub num_columns: usize,
+    /// Value domain, per column index. If a column has no entry the
+    /// `default_domain` is used.
+    pub column_domains: Vec<Option<ValueDomain>>,
+    /// Default value domain for columns without an override.
+    pub default_domain: ValueDomain,
+}
+
+impl SourceSpec {
+    /// A source with uniform values in `[1..=dmax]` on every column.
+    pub fn uniform(name: impl Into<String>, rate_per_sec: f64, num_columns: usize, dmax: u64) -> Self {
+        SourceSpec {
+            name: name.into(),
+            rate_per_sec,
+            num_columns,
+            column_domains: vec![None; num_columns],
+            default_domain: ValueDomain::uniform(dmax),
+        }
+    }
+
+    /// Override the domain of every column (used by the left-deep setup where
+    /// the last source draws from `[1..100·dmax]`).
+    pub fn with_domain(mut self, domain: ValueDomain) -> Self {
+        self.default_domain = domain;
+        self
+    }
+
+    /// Override the domain of a single column.
+    pub fn with_column_domain(mut self, column: usize, domain: ValueDomain) -> Self {
+        if column < self.column_domains.len() {
+            self.column_domains[column] = Some(domain);
+        }
+        self
+    }
+
+    /// The effective domain of a column.
+    pub fn domain_of(&self, column: usize) -> ValueDomain {
+        self.column_domains
+            .get(column)
+            .copied()
+            .flatten()
+            .unwrap_or(self.default_domain)
+    }
+
+    /// Draw the column values for one tuple.
+    pub fn sample_values(&self, rng: &mut impl Rng) -> Vec<Value> {
+        (0..self.num_columns)
+            .map(|c| self.domain_of(c).sample(rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_values_stay_in_range() {
+        let dom = ValueDomain::uniform(50);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let v = dom.sample(&mut rng).as_int().unwrap();
+            assert!((1..=50).contains(&v));
+        }
+        assert_eq!(dom.max(), 50);
+    }
+
+    #[test]
+    fn uniform_with_max_one_is_constant() {
+        let dom = ValueDomain::uniform(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(dom.sample(&mut rng), Value::int(1));
+    }
+
+    #[test]
+    fn zipf_values_stay_in_range_and_prefer_small() {
+        let dom = ValueDomain::Zipf {
+            max: 100,
+            exponent: 1.2,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut small = 0;
+        for _ in 0..2_000 {
+            let v = dom.sample(&mut rng).as_int().unwrap();
+            assert!((1..=100).contains(&v));
+            if v <= 10 {
+                small += 1;
+            }
+        }
+        // With exponent 1.2, well over half the mass sits on the 10 smallest values.
+        assert!(small > 1_000, "small-value count {small}");
+    }
+
+    #[test]
+    fn source_spec_samples_right_arity() {
+        let spec = SourceSpec::uniform("A", 1.0, 3, 200);
+        let mut rng = StdRng::seed_from_u64(4);
+        let vals = spec.sample_values(&mut rng);
+        assert_eq!(vals.len(), 3);
+        for v in vals {
+            assert!((1..=200).contains(&v.as_int().unwrap()));
+        }
+    }
+
+    #[test]
+    fn per_column_override_applies() {
+        let spec = SourceSpec::uniform("D", 1.0, 2, 50)
+            .with_column_domain(1, ValueDomain::uniform(5_000));
+        assert_eq!(spec.domain_of(0).max(), 50);
+        assert_eq!(spec.domain_of(1).max(), 5_000);
+        // out-of-range column override is ignored
+        let spec2 = SourceSpec::uniform("D", 1.0, 2, 50)
+            .with_column_domain(9, ValueDomain::uniform(5_000));
+        assert_eq!(spec2.domain_of(0).max(), 50);
+    }
+
+    #[test]
+    fn whole_source_override_applies() {
+        let spec = SourceSpec::uniform("D", 1.0, 2, 50).with_domain(ValueDomain::uniform(5_000));
+        assert_eq!(spec.domain_of(0).max(), 5_000);
+        assert_eq!(spec.domain_of(1).max(), 5_000);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let spec = SourceSpec::uniform("A", 1.0, 4, 300);
+        let a: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..10).map(|_| spec.sample_values(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..10).map(|_| spec.sample_values(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

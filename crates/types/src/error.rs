@@ -1,0 +1,76 @@
+//! Error types shared across the workspace.
+
+use crate::schema::{SourceId, SourceSet};
+use std::fmt;
+
+/// Errors arising from malformed tuples, schemas or predicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A composite tuple was built with two components from the same source.
+    DuplicateSource(SourceId),
+    /// Two tuples with overlapping source coverage were joined.
+    OverlappingSources {
+        /// Sources covered by the left operand.
+        left: SourceSet,
+        /// Sources covered by the right operand.
+        right: SourceSet,
+    },
+    /// A column reference pointed outside the source's schema.
+    UnknownColumn {
+        /// The offending source.
+        source: SourceId,
+        /// The out-of-range column index.
+        column: u16,
+    },
+    /// A source id was not registered in the catalog.
+    UnknownSource(SourceId),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::DuplicateSource(s) => {
+                write!(f, "composite tuple contains two components from source {s}")
+            }
+            TypeError::OverlappingSources { left, right } => write!(
+                f,
+                "cannot join tuples with overlapping sources {left} and {right}"
+            ),
+            TypeError::UnknownColumn { source, column } => {
+                write!(f, "column {column} does not exist in source {source}")
+            }
+            TypeError::UnknownSource(s) => write!(f, "source {s} is not in the catalog"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TypeError::DuplicateSource(SourceId(0));
+        assert!(e.to_string().contains("source A"));
+        let e = TypeError::OverlappingSources {
+            left: SourceSet::single(SourceId(0)),
+            right: SourceSet::single(SourceId(0)),
+        };
+        assert!(e.to_string().contains("overlapping"));
+        let e = TypeError::UnknownColumn {
+            source: SourceId(1),
+            column: 9,
+        };
+        assert!(e.to_string().contains('9'));
+        let e = TypeError::UnknownSource(SourceId(2));
+        assert!(e.to_string().contains('C'));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&TypeError::UnknownSource(SourceId(0)));
+    }
+}

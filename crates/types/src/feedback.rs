@@ -1,0 +1,191 @@
+//! Consumer → producer feedback messages.
+//!
+//! Section III-A introduces two feedback kinds — *suspension*
+//! (`<suspend, Π>`) and *resumption* (`<resume, Π>`) — where `Π` is a set of
+//! minimal non-demanded sub-tuples (MNSs). Section IV-B adds the
+//! *mark-result* / *unmark-result* variants used when a Type II MNS is
+//! decomposed and propagated to the producer's own inputs.
+//!
+//! This module defines only the message shape; detection of MNSs and the
+//! producer's dynamic production control live in `jit-core`.
+
+use crate::tuple::Tuple;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The command carried by a feedback message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeedbackCommand {
+    /// Stop producing results that are super-tuples of the given MNSs.
+    Suspend,
+    /// Resume production for the given MNSs and return the suppressed
+    /// super-tuples to the consumer.
+    Resume,
+    /// Keep producing super-tuples of the given sub-tuples but *mark* them
+    /// (used for decomposed Type II MNSs, Section IV-B).
+    Mark,
+    /// Stop marking super-tuples of the given sub-tuples.
+    Unmark,
+}
+
+impl FeedbackCommand {
+    /// Does the command reduce production (suspend or mark)?
+    pub fn is_restricting(self) -> bool {
+        matches!(self, FeedbackCommand::Suspend | FeedbackCommand::Mark)
+    }
+
+    /// Does the command restore production (resume or unmark)?
+    pub fn is_restoring(self) -> bool {
+        !self.is_restricting()
+    }
+}
+
+impl fmt::Display for FeedbackCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FeedbackCommand::Suspend => "suspend",
+            FeedbackCommand::Resume => "resume",
+            FeedbackCommand::Mark => "mark",
+            FeedbackCommand::Unmark => "unmark",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A feedback message `<command, Π>` sent from a consumer operator to one of
+/// its producers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Feedback {
+    /// What the producer should do.
+    pub command: FeedbackCommand,
+    /// The set `Π` of (minimal non-demanded) sub-tuples the command refers to.
+    pub mns_set: Vec<Tuple>,
+}
+
+impl Feedback {
+    /// `<suspend, Π>`.
+    pub fn suspend(mns_set: Vec<Tuple>) -> Self {
+        Feedback {
+            command: FeedbackCommand::Suspend,
+            mns_set,
+        }
+    }
+
+    /// `<resume, Π>`.
+    pub fn resume(mns_set: Vec<Tuple>) -> Self {
+        Feedback {
+            command: FeedbackCommand::Resume,
+            mns_set,
+        }
+    }
+
+    /// `<mark, Π>`.
+    pub fn mark(mns_set: Vec<Tuple>) -> Self {
+        Feedback {
+            command: FeedbackCommand::Mark,
+            mns_set,
+        }
+    }
+
+    /// `<unmark, Π>`.
+    pub fn unmark(mns_set: Vec<Tuple>) -> Self {
+        Feedback {
+            command: FeedbackCommand::Unmark,
+            mns_set,
+        }
+    }
+
+    /// A message with the same command but a different MNS set — used when an
+    /// operator propagates feedback upstream after projecting / decomposing
+    /// the MNSs onto its own inputs.
+    pub fn with_mns_set(&self, mns_set: Vec<Tuple>) -> Self {
+        Feedback {
+            command: self.command,
+            mns_set,
+        }
+    }
+
+    /// Is the MNS set empty (nothing to do)?
+    pub fn is_empty(&self) -> bool {
+        self.mns_set.is_empty()
+    }
+
+    /// Approximate footprint in bytes (for queue memory accounting).
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.mns_set.iter().map(Tuple::size_bytes).sum::<usize>()
+    }
+}
+
+impl fmt::Display for Feedback {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}, {{", self.command)?;
+        for (i, t) in self.mns_set.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}>")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SourceId;
+    use crate::timestamp::Timestamp;
+    use crate::tuple::BaseTuple;
+    use crate::value::Value;
+    use std::sync::Arc;
+
+    fn tup(source: u16, seq: u64) -> Tuple {
+        Tuple::from_base(Arc::new(BaseTuple::new(
+            SourceId(source),
+            seq,
+            Timestamp::from_millis(seq),
+            vec![Value::int(1)],
+        )))
+    }
+
+    #[test]
+    fn command_classification() {
+        assert!(FeedbackCommand::Suspend.is_restricting());
+        assert!(FeedbackCommand::Mark.is_restricting());
+        assert!(FeedbackCommand::Resume.is_restoring());
+        assert!(FeedbackCommand::Unmark.is_restoring());
+    }
+
+    #[test]
+    fn constructors_set_command() {
+        assert_eq!(Feedback::suspend(vec![]).command, FeedbackCommand::Suspend);
+        assert_eq!(Feedback::resume(vec![]).command, FeedbackCommand::Resume);
+        assert_eq!(Feedback::mark(vec![]).command, FeedbackCommand::Mark);
+        assert_eq!(Feedback::unmark(vec![]).command, FeedbackCommand::Unmark);
+    }
+
+    #[test]
+    fn with_mns_set_preserves_command() {
+        let f = Feedback::suspend(vec![tup(0, 1)]);
+        let g = f.with_mns_set(vec![tup(1, 2), tup(2, 3)]);
+        assert_eq!(g.command, FeedbackCommand::Suspend);
+        assert_eq!(g.mns_set.len(), 2);
+        assert!(!f.is_empty());
+        assert!(Feedback::resume(vec![]).is_empty());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let f = Feedback::suspend(vec![tup(0, 1)]);
+        let s = f.to_string();
+        assert!(s.starts_with("<suspend, {"), "{s}");
+        assert!(s.contains("A1"));
+    }
+
+    #[test]
+    fn size_grows_with_mns_set() {
+        let small = Feedback::suspend(vec![tup(0, 1)]);
+        let large = Feedback::suspend(vec![tup(0, 1), tup(1, 2), tup(2, 3)]);
+        assert!(large.size_bytes() > small.size_bytes());
+    }
+}

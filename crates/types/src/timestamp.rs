@@ -1,0 +1,292 @@
+//! The sliding-window time model.
+//!
+//! Following Section II of the paper, every tuple `t` carries a timestamp
+//! `t.ts` and, under a global window of length `w`, is *alive* during
+//! `[t.ts, t.ts + w)`. Two tuples `t`, `t'` may join only if
+//! `|t.ts − t'.ts| ≤ w`, and a join result's timestamp is the maximum of its
+//! components' timestamps.
+//!
+//! Timestamps are integer milliseconds of *application time* (the simulated
+//! clock driven by the arrival trace), not wall-clock time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in application time, in milliseconds since the start of the run.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+/// A span of application time, in milliseconds.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Duration(pub u64);
+
+impl Timestamp {
+    /// The origin of application time.
+    pub const ZERO: Timestamp = Timestamp(0);
+    /// The latest representable instant.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Construct from raw milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        Timestamp(ms)
+    }
+
+    /// Construct from whole seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        Timestamp(secs * 1_000)
+    }
+
+    /// Raw millisecond representation.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Value in (fractional) seconds, for reporting.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Saturating difference `self − other` (zero if `other` is later).
+    pub fn saturating_sub(self, other: Timestamp) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+
+    /// Absolute distance between two instants.
+    pub fn abs_diff(self, other: Timestamp) -> Duration {
+        Duration(self.0.abs_diff(other.0))
+    }
+
+    /// Saturating subtraction of a duration, clamping at time zero.
+    pub fn saturating_sub_duration(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_sub(d.0))
+    }
+}
+
+impl Duration {
+    /// The empty duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Construct from raw milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        Duration(ms)
+    }
+
+    /// Construct from whole seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        Duration(secs * 1_000)
+    }
+
+    /// Construct from whole minutes (the unit Table III uses for `w`).
+    pub fn from_mins(mins: u64) -> Self {
+        Duration(mins * 60_000)
+    }
+
+    /// Construct from fractional minutes (Table III uses 7.5 and 12.5 min).
+    pub fn from_mins_f64(mins: f64) -> Self {
+        Duration((mins * 60_000.0).round() as u64)
+    }
+
+    /// Construct from fractional seconds.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        Duration((secs * 1_000.0).round() as u64)
+    }
+
+    /// Raw millisecond representation.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Value in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Value in (fractional) minutes.
+    pub fn as_mins_f64(self) -> f64 {
+        self.0 as f64 / 60_000.0
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`Timestamp::saturating_sub`] when the ordering is not guaranteed.
+    fn sub(self, rhs: Timestamp) -> Duration {
+        debug_assert!(self.0 >= rhs.0, "timestamp subtraction underflow");
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+/// A sliding window of fixed length applied to every source (the paper's
+/// global window `w`, clause `RANGE w` in CQL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Window {
+    /// Window length `w`.
+    pub length: Duration,
+}
+
+impl Window {
+    /// Create a window of the given length.
+    pub fn new(length: Duration) -> Self {
+        Window { length }
+    }
+
+    /// Window of `mins` minutes — the unit used throughout Section VI.
+    pub fn minutes(mins: f64) -> Self {
+        Window {
+            length: Duration::from_mins_f64(mins),
+        }
+    }
+
+    /// Is a tuple with timestamp `ts` still alive at time `now`?
+    ///
+    /// A tuple lives during `[ts, ts + w)`.
+    pub fn is_alive(&self, ts: Timestamp, now: Timestamp) -> bool {
+        ts <= now && now < ts + self.length
+    }
+
+    /// Has a tuple with timestamp `ts` expired by time `now`?
+    pub fn is_expired(&self, ts: Timestamp, now: Timestamp) -> bool {
+        ts + self.length <= now
+    }
+
+    /// The instant at which a tuple with timestamp `ts` expires.
+    pub fn expiry(&self, ts: Timestamp) -> Timestamp {
+        ts + self.length
+    }
+
+    /// Can two tuples with the given timestamps join under this window?
+    ///
+    /// Section II: `t` and `t'` join only if `|t.ts − t'.ts| ≤ w`.
+    pub fn can_join(&self, a: Timestamp, b: Timestamp) -> bool {
+        a.abs_diff(b) <= self.length
+    }
+
+    /// The purge threshold for a probe arriving at `now`: stored tuples with
+    /// `ts < now − w` can no longer join anything with timestamp ≥ `now` and
+    /// are removed by the purge step of purge–probe–insert.
+    pub fn purge_before(&self, now: Timestamp) -> Timestamp {
+        now.saturating_sub_duration(self.length)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_units() {
+        assert_eq!(Timestamp::from_secs(2), Timestamp::from_millis(2_000));
+        assert_eq!(Duration::from_mins(5), Duration::from_millis(300_000));
+        assert_eq!(Duration::from_mins_f64(7.5), Duration::from_millis(450_000));
+        assert_eq!(Duration::from_secs_f64(0.25), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Timestamp::from_secs(10);
+        let d = Duration::from_secs(3);
+        assert_eq!(t + d, Timestamp::from_secs(13));
+        assert_eq!(Timestamp::from_secs(13) - t, d);
+        assert_eq!(t.saturating_sub(Timestamp::from_secs(20)), Duration::ZERO);
+        assert_eq!(t.abs_diff(Timestamp::from_secs(7)), Duration::from_secs(3));
+        assert_eq!(
+            t.saturating_sub_duration(Duration::from_secs(30)),
+            Timestamp::ZERO
+        );
+    }
+
+    #[test]
+    fn add_assign_advances() {
+        let mut t = Timestamp::ZERO;
+        t += Duration::from_secs(1);
+        t += Duration::from_secs(2);
+        assert_eq!(t, Timestamp::from_secs(3));
+    }
+
+    #[test]
+    fn window_lifespan_is_half_open() {
+        let w = Window::new(Duration::from_secs(10));
+        let ts = Timestamp::from_secs(100);
+        assert!(w.is_alive(ts, ts));
+        assert!(w.is_alive(ts, Timestamp::from_secs(109)));
+        // Expires exactly at ts + w.
+        assert!(!w.is_alive(ts, Timestamp::from_secs(110)));
+        assert!(w.is_expired(ts, Timestamp::from_secs(110)));
+        assert!(!w.is_expired(ts, Timestamp::from_secs(109)));
+        assert_eq!(w.expiry(ts), Timestamp::from_secs(110));
+    }
+
+    #[test]
+    fn window_join_condition_is_symmetric_and_inclusive() {
+        let w = Window::new(Duration::from_secs(5));
+        let a = Timestamp::from_secs(10);
+        let b = Timestamp::from_secs(15);
+        let c = Timestamp::from_secs(16);
+        assert!(w.can_join(a, b));
+        assert!(w.can_join(b, a));
+        assert!(!w.can_join(a, c));
+        assert!(w.can_join(a, a));
+    }
+
+    #[test]
+    fn purge_threshold_clamps_at_zero() {
+        let w = Window::new(Duration::from_secs(60));
+        assert_eq!(w.purge_before(Timestamp::from_secs(30)), Timestamp::ZERO);
+        assert_eq!(
+            w.purge_before(Timestamp::from_secs(90)),
+            Timestamp::from_secs(30)
+        );
+    }
+
+    #[test]
+    fn display_is_in_seconds() {
+        assert_eq!(Timestamp::from_millis(1_500).to_string(), "1.500s");
+        assert_eq!(Duration::from_millis(250).to_string(), "0.250s");
+    }
+
+    #[test]
+    fn minutes_window_constructor() {
+        let w = Window::minutes(5.0);
+        assert_eq!(w.length, Duration::from_mins(5));
+        let w = Window::minutes(12.5);
+        assert_eq!(w.length, Duration::from_millis(750_000));
+    }
+}

@@ -1,0 +1,449 @@
+//! Base and composite tuples.
+//!
+//! A [`BaseTuple`] is a record arriving from one streaming source. A
+//! [`Tuple`] is the composite of base tuples from *distinct* sources — the
+//! unit that flows between operators of an execution plan. A base tuple is
+//! simply a composite tuple with one component; the *empty tuple* Ø has no
+//! components and is a sub-tuple of every tuple (Section III-A).
+//!
+//! The sub-tuple / super-tuple relation used throughout the paper is
+//! implemented by [`Tuple::is_subtuple_of`]: `s` is a sub-tuple of `t` iff
+//! every component (identified by source and per-source sequence number) of
+//! `s` also appears in `t`.
+
+use crate::schema::{ColumnRef, SourceId, SourceSet};
+use crate::timestamp::Timestamp;
+use crate::value::Value;
+use crate::TypeError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A record arriving from a single streaming source.
+///
+/// Base tuples are immutable once created and shared by reference
+/// (`Arc<BaseTuple>`) between operator states, composite tuples, MNS buffers
+/// and blacklists, so a record arriving once is stored once.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BaseTuple {
+    /// Which source produced the record.
+    pub source: SourceId,
+    /// Per-source sequence number; `(source, seq)` uniquely identifies the
+    /// record for the lifetime of a run.
+    pub seq: u64,
+    /// Arrival timestamp (application time).
+    pub ts: Timestamp,
+    /// Column values, in the source schema's column order.
+    pub values: Arc<[Value]>,
+}
+
+impl BaseTuple {
+    /// Construct a base tuple.
+    pub fn new(source: SourceId, seq: u64, ts: Timestamp, values: Vec<Value>) -> Self {
+        BaseTuple {
+            source,
+            seq,
+            ts,
+            values: values.into(),
+        }
+    }
+
+    /// Value of the `column`-th attribute, if present.
+    pub fn value(&self, column: u16) -> Option<&Value> {
+        self.values.get(column as usize)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Approximate footprint in bytes (struct + value payloads).
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.values.iter().map(Value::size_bytes).sum::<usize>()
+    }
+}
+
+impl fmt::Display for BaseTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}(", self.source, self.seq)?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")@{}", self.ts)
+    }
+}
+
+/// Identity of a composite tuple: the sorted list of `(source, seq)` pairs of
+/// its components. Two tuples with equal keys represent the same join result.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct TupleKey(pub Vec<(u16, u64)>);
+
+impl fmt::Display for TupleKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (s, q)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}{}", SourceId(*s), q)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A composite tuple: the combination of base tuples from distinct sources.
+///
+/// * The empty tuple Ø ([`Tuple::empty`]) has no components.
+/// * A single-component tuple wraps one [`BaseTuple`].
+/// * Join results combine the components of both inputs
+///   ([`Tuple::join`]); the result timestamp is the maximum component
+///   timestamp, per Section II.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tuple {
+    /// Components sorted by source id; each source appears at most once.
+    parts: Arc<[Arc<BaseTuple>]>,
+    /// Cached set of covered sources.
+    sources: SourceSet,
+    /// Cached timestamp (max component timestamp; `Timestamp::ZERO` for Ø).
+    ts: Timestamp,
+}
+
+impl Tuple {
+    /// The empty tuple Ø — sub-tuple of every tuple.
+    pub fn empty() -> Self {
+        Tuple {
+            parts: Arc::from(Vec::new()),
+            sources: SourceSet::EMPTY,
+            ts: Timestamp::ZERO,
+        }
+    }
+
+    /// Wrap a base tuple as a single-component composite tuple.
+    pub fn from_base(base: Arc<BaseTuple>) -> Self {
+        let sources = SourceSet::single(base.source);
+        let ts = base.ts;
+        Tuple {
+            parts: Arc::from(vec![base]),
+            sources,
+            ts,
+        }
+    }
+
+    /// Build a composite tuple from components.
+    ///
+    /// Returns an error if two components come from the same source.
+    pub fn from_parts(mut parts: Vec<Arc<BaseTuple>>) -> Result<Self, TypeError> {
+        parts.sort_by_key(|p| p.source);
+        let mut sources = SourceSet::EMPTY;
+        let mut ts = Timestamp::ZERO;
+        for p in &parts {
+            if sources.contains(p.source) {
+                return Err(TypeError::DuplicateSource(p.source));
+            }
+            sources.insert(p.source);
+            ts = ts.max(p.ts);
+        }
+        Ok(Tuple {
+            parts: Arc::from(parts),
+            sources,
+            ts,
+        })
+    }
+
+    /// Join two tuples covering disjoint source sets.
+    ///
+    /// The result covers the union of sources and carries the later of the
+    /// two timestamps.
+    pub fn join(&self, other: &Tuple) -> Result<Tuple, TypeError> {
+        if !self.sources.is_disjoint(other.sources) {
+            return Err(TypeError::OverlappingSources {
+                left: self.sources,
+                right: other.sources,
+            });
+        }
+        let mut parts: Vec<Arc<BaseTuple>> = Vec::with_capacity(self.parts.len() + other.parts.len());
+        parts.extend(self.parts.iter().cloned());
+        parts.extend(other.parts.iter().cloned());
+        parts.sort_by_key(|p| p.source);
+        Ok(Tuple {
+            parts: Arc::from(parts),
+            sources: self.sources.union(other.sources),
+            ts: self.ts.max(other.ts),
+        })
+    }
+
+    /// The set of sources covered by this tuple.
+    pub fn sources(&self) -> SourceSet {
+        self.sources
+    }
+
+    /// The tuple's timestamp (maximum component timestamp).
+    pub fn ts(&self) -> Timestamp {
+        self.ts
+    }
+
+    /// The earliest component timestamp (`Timestamp::ZERO` for Ø).
+    ///
+    /// Useful for window-correctness checks: all components of a valid join
+    /// result are pairwise within the window, hence
+    /// `ts() − min_ts() ≤ w` must hold.
+    pub fn min_ts(&self) -> Timestamp {
+        self.parts.iter().map(|p| p.ts).min().unwrap_or(Timestamp::ZERO)
+    }
+
+    /// Is this the empty tuple Ø?
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Number of components.
+    pub fn num_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The components, sorted by source id.
+    pub fn parts(&self) -> &[Arc<BaseTuple>] {
+        &self.parts
+    }
+
+    /// The component contributed by `source`, if any.
+    pub fn part(&self, source: SourceId) -> Option<&Arc<BaseTuple>> {
+        self.parts.iter().find(|p| p.source == source)
+    }
+
+    /// Value of the referenced column, if this tuple covers the source.
+    pub fn value(&self, col: ColumnRef) -> Option<&Value> {
+        self.part(col.source).and_then(|p| p.value(col.column))
+    }
+
+    /// Restrict the tuple to the components whose source is in `keep`.
+    ///
+    /// Produces the (possibly empty) sub-tuple covering
+    /// `self.sources() ∩ keep`.
+    pub fn project(&self, keep: SourceSet) -> Tuple {
+        let parts: Vec<Arc<BaseTuple>> = self
+            .parts
+            .iter()
+            .filter(|p| keep.contains(p.source))
+            .cloned()
+            .collect();
+        let mut sources = SourceSet::EMPTY;
+        let mut ts = Timestamp::ZERO;
+        for p in &parts {
+            sources.insert(p.source);
+            ts = ts.max(p.ts);
+        }
+        Tuple {
+            parts: Arc::from(parts),
+            sources,
+            ts,
+        }
+    }
+
+    /// Is `self` a sub-tuple of `other`?
+    ///
+    /// True iff every component of `self` appears (same source, same sequence
+    /// number) in `other`. The empty tuple is a sub-tuple of everything.
+    pub fn is_subtuple_of(&self, other: &Tuple) -> bool {
+        if !self.sources.is_subset(other.sources) {
+            return false;
+        }
+        self.parts.iter().all(|p| {
+            other
+                .part(p.source)
+                .map(|q| q.seq == p.seq)
+                .unwrap_or(false)
+        })
+    }
+
+    /// Is `self` a super-tuple of `other`?
+    pub fn is_supertuple_of(&self, other: &Tuple) -> bool {
+        other.is_subtuple_of(self)
+    }
+
+    /// The identity key of the tuple (sorted `(source, seq)` pairs).
+    pub fn key(&self) -> TupleKey {
+        TupleKey(self.parts.iter().map(|p| (p.source.0, p.seq)).collect())
+    }
+
+    /// Approximate footprint in bytes.
+    ///
+    /// Components are shared via `Arc`, but the analytical memory model of
+    /// the paper charges each *stored copy* of an intermediate result for its
+    /// full payload (that is exactly the memory REF wastes on NPRs), so we
+    /// deliberately count component payloads rather than pointer sizes.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.parts.iter().map(|p| p.size_bytes()).sum::<usize>()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "Ø");
+        }
+        write!(f, "⟨")?;
+        for (i, p) in self.parts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}{}", p.source, p.seq)?;
+        }
+        write!(f, "⟩@{}", self.ts)
+    }
+}
+
+impl From<BaseTuple> for Tuple {
+    fn from(b: BaseTuple) -> Self {
+        Tuple::from_base(Arc::new(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(source: u16, seq: u64, ts: u64, vals: &[i64]) -> Arc<BaseTuple> {
+        Arc::new(BaseTuple::new(
+            SourceId(source),
+            seq,
+            Timestamp::from_millis(ts),
+            vals.iter().map(|&v| Value::int(v)).collect(),
+        ))
+    }
+
+    #[test]
+    fn base_tuple_accessors() {
+        let b = base(0, 1, 500, &[7, 8]);
+        assert_eq!(b.arity(), 2);
+        assert_eq!(b.value(1), Some(&Value::int(8)));
+        assert_eq!(b.value(2), None);
+        assert!(b.size_bytes() > 0);
+        assert!(b.to_string().starts_with("A1("));
+    }
+
+    #[test]
+    fn empty_tuple_properties() {
+        let e = Tuple::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.num_parts(), 0);
+        assert_eq!(e.ts(), Timestamp::ZERO);
+        assert_eq!(e.sources(), SourceSet::EMPTY);
+        assert_eq!(e.to_string(), "Ø");
+    }
+
+    #[test]
+    fn from_base_covers_single_source() {
+        let t = Tuple::from_base(base(2, 5, 100, &[1]));
+        assert_eq!(t.num_parts(), 1);
+        assert_eq!(t.sources(), SourceSet::single(SourceId(2)));
+        assert_eq!(t.ts(), Timestamp::from_millis(100));
+    }
+
+    #[test]
+    fn join_merges_and_takes_max_timestamp() {
+        let a = Tuple::from_base(base(0, 1, 100, &[1]));
+        let b = Tuple::from_base(base(1, 1, 300, &[1]));
+        let ab = a.join(&b).unwrap();
+        assert_eq!(ab.num_parts(), 2);
+        assert_eq!(ab.ts(), Timestamp::from_millis(300));
+        assert_eq!(ab.min_ts(), Timestamp::from_millis(100));
+        assert!(ab.sources().contains(SourceId(0)));
+        assert!(ab.sources().contains(SourceId(1)));
+        // parts sorted by source regardless of join order
+        let ba = b.join(&a).unwrap();
+        assert_eq!(ab.key(), ba.key());
+    }
+
+    #[test]
+    fn join_rejects_overlapping_sources() {
+        let a1 = Tuple::from_base(base(0, 1, 100, &[1]));
+        let a2 = Tuple::from_base(base(0, 2, 200, &[2]));
+        assert!(a1.join(&a2).is_err());
+    }
+
+    #[test]
+    fn from_parts_rejects_duplicate_source() {
+        let err = Tuple::from_parts(vec![base(0, 1, 0, &[1]), base(0, 2, 0, &[2])]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn join_with_empty_is_identity() {
+        let a = Tuple::from_base(base(0, 1, 100, &[1]));
+        let e = Tuple::empty();
+        let j = a.join(&e).unwrap();
+        assert_eq!(j.key(), a.key());
+        assert_eq!(j.ts(), a.ts());
+    }
+
+    #[test]
+    fn value_lookup_via_column_ref() {
+        let a = Tuple::from_base(base(0, 1, 100, &[10, 20]));
+        let b = Tuple::from_base(base(1, 1, 100, &[30]));
+        let ab = a.join(&b).unwrap();
+        assert_eq!(ab.value(ColumnRef::new(SourceId(0), 1)), Some(&Value::int(20)));
+        assert_eq!(ab.value(ColumnRef::new(SourceId(1), 0)), Some(&Value::int(30)));
+        assert_eq!(ab.value(ColumnRef::new(SourceId(2), 0)), None);
+        assert_eq!(ab.value(ColumnRef::new(SourceId(0), 5)), None);
+    }
+
+    #[test]
+    fn projection_produces_subtuple() {
+        let a = Tuple::from_base(base(0, 1, 100, &[1]));
+        let b = Tuple::from_base(base(1, 2, 200, &[2]));
+        let c = Tuple::from_base(base(2, 3, 300, &[3]));
+        let abc = a.join(&b).unwrap().join(&c).unwrap();
+        let ac = abc.project(SourceSet::from_iter([SourceId(0), SourceId(2)]));
+        assert_eq!(ac.num_parts(), 2);
+        assert!(ac.is_subtuple_of(&abc));
+        assert!(abc.is_supertuple_of(&ac));
+        assert_eq!(ac.ts(), Timestamp::from_millis(300));
+        // Projecting to a source not covered yields the empty tuple.
+        let none = abc.project(SourceSet::single(SourceId(5)));
+        assert!(none.is_empty());
+        assert!(none.is_subtuple_of(&abc));
+    }
+
+    #[test]
+    fn subtuple_requires_same_sequence_numbers() {
+        let a1 = Tuple::from_base(base(0, 1, 100, &[1]));
+        let a2 = Tuple::from_base(base(0, 2, 100, &[1]));
+        let b = Tuple::from_base(base(1, 1, 100, &[1]));
+        let a1b = a1.join(&b).unwrap();
+        assert!(a1.is_subtuple_of(&a1b));
+        // Same source, different record → not a sub-tuple.
+        assert!(!a2.is_subtuple_of(&a1b));
+    }
+
+    #[test]
+    fn empty_is_subtuple_of_everything() {
+        let a = Tuple::from_base(base(0, 1, 100, &[1]));
+        assert!(Tuple::empty().is_subtuple_of(&a));
+        assert!(Tuple::empty().is_subtuple_of(&Tuple::empty()));
+        assert!(!a.is_subtuple_of(&Tuple::empty()));
+    }
+
+    #[test]
+    fn key_identifies_results() {
+        let a = Tuple::from_base(base(0, 7, 100, &[1]));
+        let b = Tuple::from_base(base(1, 9, 50, &[1]));
+        let ab = a.join(&b).unwrap();
+        assert_eq!(ab.key(), TupleKey(vec![(0, 7), (1, 9)]));
+        assert_eq!(ab.key().to_string(), "[A7 B9]");
+    }
+
+    #[test]
+    fn size_counts_all_components() {
+        let a = Tuple::from_base(base(0, 1, 100, &[1, 2, 3]));
+        let b = Tuple::from_base(base(1, 1, 100, &[4, 5, 6]));
+        let ab = a.join(&b).unwrap();
+        assert!(ab.size_bytes() > a.size_bytes());
+        assert!(ab.size_bytes() > b.size_bytes());
+    }
+}

@@ -1,0 +1,46 @@
+//! # jit-dsms — facade crate
+//!
+//! Re-exports the whole JIT continuous-query processing workspace behind a
+//! single dependency, so examples, integration tests and downstream users can
+//! write `use jit_dsms::...` without tracking individual crates.
+//!
+//! The workspace reproduces Yang & Papadias, *Just-In-Time Processing of
+//! Continuous Queries* (ICDE 2008):
+//!
+//! * [`types`] — tuples, windows, predicates, feedback messages.
+//! * [`metrics`] — cost model, analytical memory accounting, counters.
+//! * [`stream`] — synthetic clique-join workload generation (Section VI).
+//! * [`exec`] — the DSMS substrate: operators, states, queues, scheduler.
+//! * [`core`] — the JIT mechanism: MNS detection, blacklists, feedback,
+//!   dynamic production control, plus the DOE baseline.
+//! * [`plan`] — plan construction (bushy / left-deep / M-Join / Eddy).
+//! * [`harness`] — experiment harness regenerating the paper's figures.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use jit_core as core;
+pub use jit_exec as exec;
+pub use jit_harness as harness;
+pub use jit_metrics as metrics;
+pub use jit_plan as plan;
+pub use jit_stream as stream;
+pub use jit_types as types;
+
+/// A convenient prelude importing the names used by virtually every program
+/// built on the library.
+pub mod prelude {
+    pub use jit_core::policy::{ExecutionMode, JitPolicy, MnsDetection};
+    pub use jit_exec::executor::{Executor, ExecutorConfig};
+    pub use jit_exec::output;
+    pub use jit_harness::config::ExperimentConfig;
+    pub use jit_harness::figures::{run_figure, FigureSpec};
+    pub use jit_plan::cql::parse_cql;
+    pub use jit_plan::runtime::{QueryRuntime, RunOutcome};
+    pub use jit_plan::shapes::{PlanShape, TreeShape};
+    pub use jit_stream::workload::WorkloadSpec;
+    pub use jit_stream::{Trace, WorkloadGenerator};
+    pub use jit_types::{
+        Catalog, ColumnRef, Duration, EquiPredicate, Feedback, FeedbackCommand, PredicateSet,
+        SourceId, SourceSet, Timestamp, Tuple, Value, Window,
+    };
+}
