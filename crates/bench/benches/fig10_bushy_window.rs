@@ -40,8 +40,14 @@ fn bench(c: &mut Criterion) {
             b.iter_batched(
                 || trace.clone(),
                 |t| {
-                    QueryRuntime::run_trace(&t, &config.workload, &config.shape, mode, exec_config.clone())
-                        .expect("plan builds")
+                    QueryRuntime::run_trace(
+                        &t,
+                        &config.workload,
+                        &config.shape,
+                        mode,
+                        exec_config.clone(),
+                    )
+                    .expect("plan builds")
                 },
                 BatchSize::LargeInput,
             )

@@ -1,0 +1,105 @@
+//! Parallel scaling: wall-clock of the sharded runtime vs shard count.
+//!
+//! Beyond the paper: the same key-partitionable clique-join workload is
+//! executed by the sharded parallel runtime (`jit-runtime`) at shard counts
+//! 1, 2, 4 and 8, under both REF and JIT, on identical traces. Shard count 1
+//! is the single-core baseline; the ratio against it is the speedup curve.
+//! A summary of per-shard load balance is printed once so the scaling
+//! numbers can be read in context.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use jit_bench::BENCH_SEED;
+use jit_core::policy::{ExecutionMode, JitPolicy};
+use jit_exec::executor::ExecutorConfig;
+use jit_harness::parallel::{parallel_workload, run_parallel_trace};
+use jit_plan::shapes::PlanShape;
+use jit_runtime::RuntimeConfig;
+use jit_stream::WorkloadGenerator;
+use jit_types::Duration;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench(c: &mut Criterion) {
+    // Selective workload: with ~480 tuples per source and 200 distinct keys,
+    // each key holds only a couple of tuples per source, so result volume
+    // stays small while the probe work still dominates.
+    let spec = parallel_workload(4, 200)
+        .with_rate(2.0)
+        .with_window_minutes(4.0)
+        .with_duration(Duration::from_mins(4))
+        .with_seed(BENCH_SEED);
+    let shape = PlanShape::bushy(4);
+    let trace = WorkloadGenerator::generate(&spec);
+    let exec_config = ExecutorConfig {
+        collect_results: false,
+        check_temporal_order: false,
+    };
+
+    // One untimed pass per shard count: print load balance and check that
+    // every configuration agrees on the result count.
+    let reference = run_parallel_trace(
+        &trace,
+        &spec,
+        &shape,
+        ExecutionMode::Ref,
+        exec_config.clone(),
+        RuntimeConfig::with_shards(1),
+    )
+    .expect("plan builds");
+    println!(
+        "parallel_scaling: {} arrivals, {} results",
+        trace.len(),
+        reference.results_count
+    );
+    for shards in SHARD_COUNTS {
+        let outcome = run_parallel_trace(
+            &trace,
+            &spec,
+            &shape,
+            ExecutionMode::Ref,
+            exec_config.clone(),
+            RuntimeConfig::with_shards(shards),
+        )
+        .expect("plan builds");
+        assert_eq!(
+            outcome.results_count, reference.results_count,
+            "sharding must not change the result count"
+        );
+        println!(
+            "  shards={shards}: max shard load {:.0}% (ideal {:.0}%)",
+            outcome.max_shard_load() * 100.0,
+            100.0 / shards as f64
+        );
+    }
+
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+    for (mode_label, mode) in [
+        ("REF", ExecutionMode::Ref),
+        ("JIT", ExecutionMode::Jit(JitPolicy::full())),
+    ] {
+        for shards in SHARD_COUNTS {
+            group.bench_function(format!("{mode_label}/shards={shards}"), |b| {
+                b.iter_batched(
+                    || trace.clone(),
+                    |t| {
+                        run_parallel_trace(
+                            &t,
+                            &spec,
+                            &shape,
+                            mode,
+                            exec_config.clone(),
+                            RuntimeConfig::with_shards(shards),
+                        )
+                        .expect("plan builds")
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

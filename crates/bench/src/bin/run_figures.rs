@@ -56,9 +56,7 @@ fn parse_args() -> Options {
             }
             "--doe" => options.with_doe = true,
             "--help" | "-h" => {
-                println!(
-                    "run_figures [--scale S] [--seed N] [--out DIR] [--figure figNN] [--doe]"
-                );
+                println!("run_figures [--scale S] [--seed N] [--out DIR] [--figure figNN] [--doe]");
                 std::process::exit(0);
             }
             other => {

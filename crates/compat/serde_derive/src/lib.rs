@@ -1,0 +1,377 @@
+//! Derive macros for the offline serde subset.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses: **non-generic** structs (named,
+//! tuple/newtype, unit) and enums whose variants are unit, tuple or struct
+//! variants. The generated code targets the simplified `serde::Serialize` /
+//! `serde::Deserialize` traits (conversion to and from `serde::Content`).
+//!
+//! The input item is parsed directly from the `proc_macro::TokenStream`
+//! (neither `syn` nor `quote` is available offline); generics are rejected
+//! with a compile error rather than silently miscompiled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field layout of a struct or an enum variant.
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse(input) {
+        Ok(parsed) => gen(&parsed).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`, including doc comments) and visibility.
+    let keyword = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => break id.to_string(),
+            other => return Err(format!("unexpected token {other:?} before item keyword")),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive (offline subset) does not support generic type `{name}`"
+        ));
+    }
+    let kind = match keyword.as_str() {
+        "struct" => Kind::Struct(parse_struct_body(&mut tokens)?),
+        "enum" => {
+            let body = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            Kind::Enum(parse_variants(body)?)
+        }
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Input { name, kind })
+}
+
+fn parse_struct_body(
+    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) -> Result<Fields, String> {
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Ok(Fields::Named(named_field_names(g.stream())?))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Fields::Tuple(count_top_level_fields(g.stream())))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Fields::Unit),
+        other => Err(format!("expected struct body, found {other:?}")),
+    }
+}
+
+/// Split a token stream on commas that sit outside any `<...>` nesting.
+/// (Bracketed/parenthesised groups arrive as single atomic tokens, so only
+/// angle brackets need explicit depth tracking.)
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts = vec![Vec::new()];
+    let mut angle_depth = 0usize;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    parts.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        parts.last_mut().unwrap().push(tt);
+    }
+    parts.retain(|p| !p.is_empty());
+    parts
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+/// Extract the field names from the body of a brace struct (or struct
+/// variant): for each comma-separated part, the identifier right before the
+/// first top-level `:`.
+fn named_field_names(stream: TokenStream) -> Result<Vec<String>, String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|part| {
+            let mut last_ident = None;
+            let mut iter = part.into_iter().peekable();
+            while let Some(tt) = iter.next() {
+                match tt {
+                    TokenTree::Punct(p) if p.as_char() == '#' => {
+                        iter.next();
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ':' => {
+                        return last_ident.ok_or_else(|| "field without a name".to_string());
+                    }
+                    TokenTree::Ident(id) => {
+                        let text = id.to_string();
+                        if text != "pub" {
+                            last_ident = Some(text);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            Err("struct field without `:`".to_string())
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|part| {
+            let mut name = None;
+            let mut fields = Fields::Unit;
+            let mut iter = part.into_iter().peekable();
+            while let Some(tt) = iter.next() {
+                match tt {
+                    TokenTree::Punct(p) if p.as_char() == '#' => {
+                        iter.next();
+                    }
+                    TokenTree::Ident(id) if name.is_none() => name = Some(id.to_string()),
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                        fields = Fields::Named(named_field_names(g.stream())?);
+                    }
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                        fields = Fields::Tuple(count_top_level_fields(g.stream()));
+                    }
+                    _ => {}
+                }
+            }
+            let name = name.ok_or_else(|| "enum variant without a name".to_string())?;
+            Ok((name, fields))
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Fields::Unit) => "::serde::Content::Null".to_string(),
+        Kind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(String::from({f:?}), ::serde::Serialize::to_content(&self.{f}))")
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => ::serde::Content::Str(String::from({v:?}))"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "{name}::{v}(f0) => ::serde::Content::Map(vec![(String::from({v:?}), \
+                         ::serde::Serialize::to_content(f0))])"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_content(f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Content::Map(vec![(String::from({v:?}), \
+                             ::serde::Content::Seq(vec![{items}]))])",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        )
+                    }
+                    Fields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from({f:?}), ::serde::Serialize::to_content({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Content::Map(vec![(String::from({v:?}), \
+                             ::serde::Content::Map(vec![{entries}]))])",
+                            entries = entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Deserialize
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Fields::Unit) => format!("Ok({name})"),
+        Kind::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_content(content)?))")
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = content.as_seq_n({n}, {name:?})?;\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(map, {f:?}, {name:?})?"))
+                .collect();
+            format!(
+                "let map = content.as_map().ok_or_else(|| ::serde::Error::expected(\"object\", {name:?}))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(content: &::serde::Content) -> Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, f)| matches!(f, Fields::Unit))
+        .map(|(v, _)| format!("{v:?} => return Ok({name}::{v}),"))
+        .collect();
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|(v, fields)| match fields {
+            Fields::Unit => None,
+            Fields::Tuple(1) => Some(format!(
+                "{v:?} => return Ok({name}::{v}(::serde::Deserialize::from_content(value)?)),"
+            )),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                    .collect();
+                Some(format!(
+                    "{v:?} => {{ let items = value.as_seq_n({n}, {name:?})?; \
+                     return Ok({name}::{v}({})); }}",
+                    items.join(", ")
+                ))
+            }
+            Fields::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::field(inner, {f:?}, {name:?})?"))
+                    .collect();
+                Some(format!(
+                    "{v:?} => {{ let inner = value.as_map().ok_or_else(|| \
+                     ::serde::Error::expected(\"object\", {name:?}))?; \
+                     return Ok({name}::{v} {{ {} }}); }}",
+                    inits.join(", ")
+                ))
+            }
+        })
+        .collect();
+
+    let mut body = String::new();
+    if !unit_arms.is_empty() {
+        body.push_str(&format!(
+            "if let Some(tag) = content.as_str() {{\n\
+                 match tag {{ {} _ => {{}} }}\n\
+             }}\n",
+            unit_arms.join(" ")
+        ));
+    }
+    if !payload_arms.is_empty() {
+        body.push_str(&format!(
+            "if let Some(entries) = content.as_map() {{\n\
+                 if entries.len() == 1 {{\n\
+                     let (tag, value) = &entries[0];\n\
+                     match tag.as_str() {{ {} _ => {{}} }}\n\
+                 }}\n\
+             }}\n",
+            payload_arms.join(" ")
+        ));
+    }
+    body.push_str(&format!(
+        "Err(::serde::Error::expected(\"a known variant\", {name:?}))"
+    ));
+    body
+}

@@ -196,9 +196,8 @@ impl Blacklist {
             });
         }
         self.entries.retain(|e| {
-            let dead = e.tuples.is_empty()
-                && !e.mns.is_empty()
-                && window.is_expired(e.mns.ts(), now);
+            let dead =
+                e.tuples.is_empty() && !e.mns.is_empty() && window.is_expired(e.mns.ts(), now);
             if dead {
                 freed += e.mns.size_bytes() + e.signature.size_bytes();
             }
@@ -335,7 +334,12 @@ mod tests {
     #[test]
     fn empty_mns_entry_captures_everything_and_survives_purge() {
         let mut bl = Blacklist::new("B");
-        let idx = bl.upsert_entry(Tuple::empty(), vec![], SuspendMode::Suspend, Timestamp::ZERO);
+        let idx = bl.upsert_entry(
+            Tuple::empty(),
+            vec![],
+            SuspendMode::Suspend,
+            Timestamp::ZERO,
+        );
         assert_eq!(bl.matching_entry(&tup(0, 1, 5, &[1]), false), Some(idx));
         // The Ø entry has no timestamp, so it is never purged by the window.
         assert_eq!(bl.purge(window(), Timestamp::from_millis(10_000_000)), 0);

@@ -44,7 +44,9 @@ impl BloomFilter {
     fn bit_index(&self, value: &Value, i: usize) -> usize {
         let mut hasher = DefaultHasher::new();
         // Mix the hash-function index in so the k functions are independent.
-        (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).hash(&mut hasher);
+        (i as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .hash(&mut hasher);
         value.hash(&mut hasher);
         (hasher.finish() % self.num_bits as u64) as usize
     }

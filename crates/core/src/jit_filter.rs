@@ -16,9 +16,7 @@
 use crate::lattice::CnsLattice;
 use jit_exec::operator::{DataMessage, OpContext, Operator, OperatorOutput, Port, LEFT};
 use jit_metrics::CostKind;
-use jit_types::{
-    BaseTuple, Feedback, FilterPredicate, PredicateSet, SourceId, SourceSet, Tuple,
-};
+use jit_types::{BaseTuple, Feedback, FilterPredicate, PredicateSet, SourceId, SourceSet, Tuple};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -66,19 +64,28 @@ impl Operator for JitSelectionOperator {
         1
     }
 
-    fn process(&mut self, _port: Port, msg: &DataMessage, ctx: &mut OpContext<'_>) -> OperatorOutput {
+    fn process(
+        &mut self,
+        _port: Port,
+        msg: &DataMessage,
+        ctx: &mut OpContext<'_>,
+    ) -> OperatorOutput {
         ctx.metrics.stats.predicate_evals += 1;
         ctx.metrics.charge(CostKind::PredicateEval, 1);
         if self.predicate.holds_on(&msg.tuple).unwrap_or(false) {
             return OperatorOutput::with_results(vec![msg.clone()]);
         }
         // The component carrying the filtered column is non-demanded forever.
-        let failing = msg.tuple.project(SourceSet::single(self.predicate.column.source));
+        let failing = msg
+            .tuple
+            .project(SourceSet::single(self.predicate.column.source));
         let mut output = OperatorOutput::empty();
         if !failing.is_empty() && self.reported.insert(failing.key()) {
             self.reported_bytes += failing.size_bytes();
             ctx.metrics.stats.mns_detected += 1;
-            output.feedback.push((LEFT, Feedback::suspend(vec![failing])));
+            output
+                .feedback
+                .push((LEFT, Feedback::suspend(vec![failing])));
         }
         output
     }
@@ -130,16 +137,24 @@ impl Operator for JitStaticJoinOperator {
     }
 
     fn output_schema(&self) -> SourceSet {
-        self.input_schema.union(SourceSet::single(self.relation_source))
+        self.input_schema
+            .union(SourceSet::single(self.relation_source))
     }
 
     fn num_ports(&self) -> usize {
         1
     }
 
-    fn process(&mut self, _port: Port, msg: &DataMessage, ctx: &mut OpContext<'_>) -> OperatorOutput {
+    fn process(
+        &mut self,
+        _port: Port,
+        msg: &DataMessage,
+        ctx: &mut OpContext<'_>,
+    ) -> OperatorOutput {
         let rel_schema = SourceSet::single(self.relation_source);
-        let candidates = self.predicates.sources_facing(msg.tuple.sources(), rel_schema);
+        let candidates = self
+            .predicates
+            .sources_facing(msg.tuple.sources(), rel_schema);
         let mut lattice = if candidates.is_empty() || self.relation.is_empty() {
             None
         } else {
@@ -182,7 +197,8 @@ impl Operator for JitStaticJoinOperator {
                 }
             }
         }
-        ctx.metrics.charge(CostKind::ProbePair, self.relation.len() as u64);
+        ctx.metrics
+            .charge(CostKind::ProbePair, self.relation.len() as u64);
         ctx.metrics.stats.predicate_evals += evals;
         ctx.metrics.charge(CostKind::PredicateEval, evals);
 
@@ -283,8 +299,18 @@ mod tests {
     fn static_join_joins_and_suspends_missing_components() {
         // Relation R_C over source 2 with values {1, 2}; predicate A.x0 = C.x0.
         let relation = vec![
-            Arc::new(BaseTuple::new(SourceId(2), 0, Timestamp::ZERO, vec![Value::int(1)])),
-            Arc::new(BaseTuple::new(SourceId(2), 1, Timestamp::ZERO, vec![Value::int(2)])),
+            Arc::new(BaseTuple::new(
+                SourceId(2),
+                0,
+                Timestamp::ZERO,
+                vec![Value::int(1)],
+            )),
+            Arc::new(BaseTuple::new(
+                SourceId(2),
+                1,
+                Timestamp::ZERO,
+                vec![Value::int(2)],
+            )),
         ];
         let preds = PredicateSet::from_predicates(vec![EquiPredicate::new(
             ColumnRef::new(SourceId(0), 0),
@@ -308,7 +334,10 @@ mod tests {
         assert!(out.results.is_empty());
         assert_eq!(out.feedback.len(), 1);
         assert_eq!(out.feedback[0].1.command, FeedbackCommand::Suspend);
-        assert_eq!(op.output_schema(), SourceSet::from_iter([SourceId(0), SourceId(2)]));
+        assert_eq!(
+            op.output_schema(),
+            SourceSet::from_iter([SourceId(0), SourceId(2)])
+        );
         assert!(op.memory_bytes() > 0);
     }
 

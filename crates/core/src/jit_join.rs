@@ -185,7 +185,12 @@ impl JitJoinOperator {
 
     /// Purge every container and emit resumption feedback for MNSs whose
     /// justification has expired.
-    fn purge_all(&mut self, now: Timestamp, ctx: &mut OpContext<'_>, output: &mut Vec<(Port, Feedback)>) {
+    fn purge_all(
+        &mut self,
+        now: Timestamp,
+        ctx: &mut OpContext<'_>,
+        output: &mut Vec<(Port, Feedback)>,
+    ) {
         let mut purged = 0usize;
         for side in [LEFT, RIGHT] {
             purged += self.states[side].purge(self.window, now);
@@ -366,7 +371,10 @@ impl JitJoinOperator {
     /// Leave Ø suspension, reprocessing buffered inputs with their original
     /// arrival instants (so purge decisions match what a prompt execution
     /// would have done).
-    fn exit_full_suspension(&mut self, ctx: &mut OpContext<'_>) -> (Vec<DataMessage>, Vec<(Port, Feedback)>) {
+    fn exit_full_suspension(
+        &mut self,
+        ctx: &mut OpContext<'_>,
+    ) -> (Vec<DataMessage>, Vec<(Port, Feedback)>) {
         self.fully_suspended = false;
         let pending = std::mem::take(&mut self.pending);
         self.pending_bytes = 0;
@@ -414,7 +422,9 @@ impl JitJoinOperator {
                 if self.policy.handle_type2 && self.policy.propagate_feedback {
                     let left_part = mns.project(self.left_schema);
                     let right_part = mns.project(self.right_schema);
-                    outcome.propagate.push((LEFT, Feedback::mark(vec![left_part])));
+                    outcome
+                        .propagate
+                        .push((LEFT, Feedback::mark(vec![left_part])));
                     outcome
                         .propagate
                         .push((RIGHT, Feedback::mark(vec![right_part])));
@@ -425,9 +435,13 @@ impl JitJoinOperator {
         };
         // Propagate before handling (Section III-C, rule (i)).
         if self.policy.propagate_feedback {
-            outcome
-                .propagate
-                .push((side, Feedback { command, mns_set: vec![mns.clone()] }));
+            outcome.propagate.push((
+                side,
+                Feedback {
+                    command,
+                    mns_set: vec![mns.clone()],
+                },
+            ));
             ctx.metrics.stats.feedback_propagated += 1;
         }
         let mode = if command == FeedbackCommand::Mark {
@@ -491,67 +505,89 @@ impl JitJoinOperator {
         };
         // Propagate so our own producer regenerates what it suppressed.
         if self.policy.propagate_feedback {
-            outcome
-                .propagate
-                .push((side, Feedback { command, mns_set: vec![mns.clone()] }));
+            outcome.propagate.push((
+                side,
+                Feedback {
+                    command,
+                    mns_set: vec![mns.clone()],
+                },
+            ));
             ctx.metrics.stats.feedback_propagated += 1;
         }
-        let opp = Self::opposite(side);
         let Some(entry) = self.blacklists[side].remove_entry(&mns.key()) else {
             return;
         };
         for suspended in entry.tuples {
-            // Expired tuples can no longer contribute results.
-            if self.window.is_expired(suspended.tuple.ts(), now) {
+            self.restore_suspended(side, suspended, now, ctx, outcome);
+        }
+    }
+
+    /// Move one suspended tuple back into the state of `side`: regenerate
+    /// exactly the pairs never produced before, resume any opposite-side MNS
+    /// the tuple is the awaited partner of, and start a fresh presence
+    /// interval.
+    fn restore_suspended(
+        &mut self,
+        side: Port,
+        suspended: crate::blacklist::BlacklistedTuple,
+        now: Timestamp,
+        ctx: &mut OpContext<'_>,
+        outcome: &mut FeedbackOutcome,
+    ) {
+        // Expired tuples can no longer contribute results.
+        if self.window.is_expired(suspended.tuple.ts(), now) {
+            return;
+        }
+        let opp = Self::opposite(side);
+        ctx.metrics.stats.resumed_tuples += 1;
+        ctx.metrics.charge(CostKind::BlacklistMove, 1);
+        // The restored tuple may be the awaited partner of an MNS
+        // detected on the opposite input while it was suspended.
+        let matching = self.mns_buffers[opp].take_matching(
+            &suspended.tuple,
+            &self.predicates,
+            self.window,
+            ctx.metrics,
+        );
+        if !matching.is_empty() {
+            outcome.propagate.push((opp, Feedback::resume(matching)));
+        }
+        // Regenerate exactly the pairs never produced before.
+        let mut evals = 0u64;
+        let key = suspended.tuple.key();
+        let mut produced = Vec::new();
+        for stored in self.states[opp].iter() {
+            ctx.metrics.stats.probe_pairs += 1;
+            if !self
+                .window
+                .can_join(suspended.tuple.ts(), stored.tuple.ts())
+            {
                 continue;
             }
-            ctx.metrics.stats.resumed_tuples += 1;
-            ctx.metrics.charge(CostKind::BlacklistMove, 1);
-            // The restored tuple may be the awaited partner of an MNS
-            // detected on the opposite input while it was suspended.
-            let matching = self.mns_buffers[opp].take_matching(
-                &suspended.tuple,
-                &self.predicates,
-                self.window,
-                ctx.metrics,
-            );
-            if !matching.is_empty() {
-                outcome.propagate.push((opp, Feedback::resume(matching)));
+            if self.produced_before(side, &key, &stored.tuple.key()) {
+                continue;
             }
-            // Regenerate exactly the pairs never produced before.
-            let mut evals = 0u64;
-            let key = suspended.tuple.key();
-            let mut produced = Vec::new();
-            for stored in self.states[opp].iter() {
-                ctx.metrics.stats.probe_pairs += 1;
-                if !self.window.can_join(suspended.tuple.ts(), stored.tuple.ts()) {
-                    continue;
-                }
-                if self.produced_before(side, &key, &stored.tuple.key()) {
-                    continue;
-                }
-                if self
-                    .predicates
-                    .join_matches(&suspended.tuple, &stored.tuple, &mut evals)
-                {
-                    if let Ok(joined) = suspended.tuple.join(&stored.tuple) {
-                        ctx.metrics.charge(CostKind::ResultBuild, 1);
-                        produced.push(DataMessage::new(joined));
-                    }
+            if self
+                .predicates
+                .join_matches(&suspended.tuple, &stored.tuple, &mut evals)
+            {
+                if let Ok(joined) = suspended.tuple.join(&stored.tuple) {
+                    ctx.metrics.charge(CostKind::ResultBuild, 1);
+                    produced.push(DataMessage::new(joined));
                 }
             }
-            ctx.metrics
-                .charge(CostKind::ProbePair, self.states[opp].len() as u64);
-            ctx.metrics.stats.predicate_evals += evals;
-            ctx.metrics.charge(CostKind::PredicateEval, evals);
-            outcome.resumed.extend(produced);
-            // Back into the state; a fresh presence interval starts now.
-            self.states[side].insert(suspended.tuple.clone(), now);
-            self.note_insertion(side, key);
-            self.update_bloom(side, &suspended.tuple);
-            ctx.metrics.stats.state_insertions += 1;
-            ctx.metrics.charge(CostKind::StateInsert, 1);
         }
+        ctx.metrics
+            .charge(CostKind::ProbePair, self.states[opp].len() as u64);
+        ctx.metrics.stats.predicate_evals += evals;
+        ctx.metrics.charge(CostKind::PredicateEval, evals);
+        outcome.resumed.extend(produced);
+        // Back into the state; a fresh presence interval starts now.
+        self.states[side].insert(suspended.tuple.clone(), now);
+        self.note_insertion(side, key);
+        self.update_bloom(side, &suspended.tuple);
+        ctx.metrics.stats.state_insertions += 1;
+        ctx.metrics.charge(CostKind::StateInsert, 1);
     }
 }
 
@@ -572,7 +608,12 @@ impl Operator for JitJoinOperator {
         self.fully_suspended
     }
 
-    fn process(&mut self, port: Port, msg: &DataMessage, ctx: &mut OpContext<'_>) -> OperatorOutput {
+    fn process(
+        &mut self,
+        port: Port,
+        msg: &DataMessage,
+        ctx: &mut OpContext<'_>,
+    ) -> OperatorOutput {
         debug_assert!(port == LEFT || port == RIGHT);
         let now = ctx.now;
 
@@ -591,21 +632,29 @@ impl Operator for JitJoinOperator {
 
         // Producer-side diversion: an arrival captured by a blacklist entry is
         // suspended immediately instead of being processed.
-        if let Some(idx) = self.blacklists[port].matching_entry(&msg.tuple, self.policy.capture_similar)
+        if let Some(idx) =
+            self.blacklists[port].matching_entry(&msg.tuple, self.policy.capture_similar)
         {
             if self.blacklists[port].entries()[idx].mode == SuspendMode::Suspend {
                 self.blacklists[port].add_tuple(idx, msg.tuple.clone(), None);
                 ctx.metrics.stats.blacklisted_tuples += 1;
                 ctx.metrics.stats.intermediate_suppressed += 1;
                 ctx.metrics.charge(CostKind::BlacklistMove, 1);
-                return OperatorOutput { results: Vec::new(), feedback };
+                return OperatorOutput {
+                    results: Vec::new(),
+                    feedback,
+                };
             }
         }
 
         // Consumer step 1: probe the opposite MNS buffer; matches trigger
         // resumption at the opposite producer.
-        let resumed_mns =
-            self.mns_buffers[opp].take_matching(&msg.tuple, &self.predicates, self.window, ctx.metrics);
+        let resumed_mns = self.mns_buffers[opp].take_matching(
+            &msg.tuple,
+            &self.predicates,
+            self.window,
+            ctx.metrics,
+        );
         if !resumed_mns.is_empty() {
             feedback.push((opp, Feedback::resume(resumed_mns)));
         }
@@ -629,7 +678,8 @@ impl Operator for JitJoinOperator {
             if !self.window.can_join(msg.tuple.ts(), stored.tuple.ts()) {
                 continue;
             }
-            let matched = self.matched_components(&msg.tuple, &stored.tuple, candidates, &mut evals);
+            let matched =
+                self.matched_components(&msg.tuple, &stored.tuple, candidates, &mut evals);
             if let Some(l) = lattice.as_mut() {
                 l.observe(matched, ctx.metrics);
             }
@@ -672,6 +722,27 @@ impl Operator for JitJoinOperator {
         ctx.metrics.charge(CostKind::StateInsert, 1);
 
         OperatorOutput { results, feedback }
+    }
+
+    fn flush(&mut self, ctx: &mut OpContext<'_>) -> FeedbackOutcome {
+        let now = ctx.now;
+        let mut outcome = FeedbackOutcome::empty();
+        if self.fully_suspended {
+            let (results, feedback) = self.exit_full_suspension(ctx);
+            outcome.resumed.extend(results);
+            outcome.propagate.extend(feedback);
+        }
+        for side in [LEFT, RIGHT] {
+            let suspended: Vec<Tuple> = self.blacklists[side]
+                .entries()
+                .iter()
+                .map(|entry| entry.mns.clone())
+                .collect();
+            for mns in suspended {
+                self.resume_one(&mns, FeedbackCommand::Resume, now, ctx, &mut outcome);
+            }
+        }
+        outcome
     }
 
     fn handle_feedback(&mut self, fb: &Feedback, ctx: &mut OpContext<'_>) -> FeedbackOutcome {
@@ -957,12 +1028,9 @@ mod tests {
         let mut ctx = OpContext::new(Timestamp::from_secs(1), &mut metrics);
         let outcome = middle.handle_feedback(&Feedback::suspend(vec![a1.clone()]), &mut ctx);
         // a1 is a sub-tuple of the left input (AB), so the suspension goes left.
-        assert!(outcome
-            .propagate
-            .iter()
-            .any(|(port, fb)| *port == LEFT
-                && fb.command == FeedbackCommand::Suspend
-                && fb.mns_set[0].key() == a1.key()));
+        assert!(outcome.propagate.iter().any(|(port, fb)| *port == LEFT
+            && fb.command == FeedbackCommand::Suspend
+            && fb.mns_set[0].key() == a1.key()));
         assert_eq!(metrics.stats.feedback_propagated, 1);
         // Without propagation the list stays empty.
         let mut quiet = op2(JitPolicy::full().without_propagation());
@@ -980,7 +1048,10 @@ mod tests {
         let ab = DataMessage::new(a(1, 1, 1, 100).tuple.join(&b(1, 0, 1).tuple).unwrap());
         let out = process(&mut consumer, LEFT, &ab, &mut metrics);
         // Opposite state is non-empty, so DOE detects nothing.
-        assert!(out.feedback.iter().all(|(_, fb)| fb.command != FeedbackCommand::Suspend));
+        assert!(out
+            .feedback
+            .iter()
+            .all(|(_, fb)| fb.command != FeedbackCommand::Suspend));
     }
 
     /// Bloom detection finds value-absent components without a lattice.

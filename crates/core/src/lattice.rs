@@ -230,9 +230,8 @@ mod tests {
             let mut metrics = RunMetrics::new();
             let mut l = CnsLattice::new(set(&[0, 1, 2]));
             // One observation whose matched set is given by `pattern`.
-            let matched = SourceSet::from_iter(
-                (0..3u16).filter(|i| pattern & (1 << i) != 0).map(SourceId),
-            );
+            let matched =
+                SourceSet::from_iter((0..3u16).filter(|i| pattern & (1 << i) != 0).map(SourceId));
             l.observe(matched, &mut metrics);
             let mns = l.minimal_alive();
             for a in &mns {

@@ -124,8 +124,7 @@ impl MnsBuffer {
             let is_match = if entry.mns.is_empty() {
                 true
             } else {
-                window.can_join(entry.mns.ts(), tuple.ts())
-                    && predicates.matches(&entry.mns, tuple)
+                window.can_join(entry.mns.ts(), tuple.ts()) && predicates.matches(&entry.mns, tuple)
             };
             if is_match {
                 self.bytes -= entry.mns.size_bytes();
@@ -231,8 +230,7 @@ mod tests {
         let mut b = MnsBuffer::new("NB");
         b.insert(tup(0, 1, 0, &[5]), Timestamp::ZERO);
         // After the window has passed, the MNS cannot be matched…
-        let matched =
-            b.take_matching(&tup(1, 1, 100_000, &[5]), &preds, window(), &mut metrics);
+        let matched = b.take_matching(&tup(1, 1, 100_000, &[5]), &preds, window(), &mut metrics);
         assert!(matched.is_empty());
         // …and purge removes it.
         assert_eq!(b.purge(window(), Timestamp::from_millis(100_000)), 1);

@@ -170,7 +170,10 @@ mod tests {
             MnsDetection::EmptyStateOnly
         );
         assert_eq!(
-            ExecutionMode::Jit(JitPolicy::bloom()).policy().unwrap().detection,
+            ExecutionMode::Jit(JitPolicy::bloom())
+                .policy()
+                .unwrap()
+                .detection,
             MnsDetection::Bloom
         );
     }

@@ -88,7 +88,12 @@ impl Operator for EddyOperator {
         self.states.len()
     }
 
-    fn process(&mut self, port: Port, msg: &DataMessage, ctx: &mut OpContext<'_>) -> OperatorOutput {
+    fn process(
+        &mut self,
+        port: Port,
+        msg: &DataMessage,
+        ctx: &mut OpContext<'_>,
+    ) -> OperatorOutput {
         debug_assert!(port < self.states.len());
         let now = ctx.now;
 
@@ -118,7 +123,9 @@ impl Operator for EddyOperator {
                 for entry in self.states[stem].iter() {
                     ctx.metrics.stats.probe_pairs += 1;
                     if self.window.can_join(partial.ts(), entry.tuple.ts())
-                        && self.predicates.join_matches(partial, &entry.tuple, &mut evals)
+                        && self
+                            .predicates
+                            .join_matches(partial, &entry.tuple, &mut evals)
                     {
                         if let Ok(joined) = partial.join(&entry.tuple) {
                             ctx.metrics.charge(CostKind::ResultBuild, 1);
@@ -178,7 +185,10 @@ mod tests {
         let mut metrics = RunMetrics::new();
         // Clique over A,B,C: A=(toB,toC), B=(toA,toC), C=(toA,toB).
         let mut ctx = OpContext::new(Timestamp::ZERO, &mut metrics);
-        assert!(op.process(0, &msg(0, 0, 0, &[1, 2]), &mut ctx).results.is_empty());
+        assert!(op
+            .process(0, &msg(0, 0, 0, &[1, 2]), &mut ctx)
+            .results
+            .is_empty());
         let mut ctx = OpContext::new(Timestamp::from_millis(10), &mut metrics);
         assert!(op
             .process(1, &msg(1, 0, 10, &[1, 3]), &mut ctx)

@@ -232,7 +232,9 @@ impl Executor {
     /// Refresh the per-operator and queue memory accounting.
     fn sample_memory(&mut self) {
         for (i, slot) in self.slots.iter().enumerate() {
-            self.metrics.memory.set(self.op_mem[i], slot.operator.memory_bytes());
+            self.metrics
+                .memory
+                .set(self.op_mem[i], slot.operator.memory_bytes());
         }
         self.metrics
             .memory
@@ -271,11 +273,56 @@ impl Executor {
         self.slots[id.0].operator.as_ref()
     }
 
-    /// Finish the run: freeze the wall clock and return results + metrics.
+    /// Finish the run: flush suppressed production, freeze the wall clock
+    /// and return results + metrics.
+    ///
+    /// The returned snapshot carries both total figures (including the
+    /// end-of-stream flush) and steady-state figures captured before the
+    /// flush (`steady_cost_units`, `steady_peak_memory_bytes`) — the
+    /// latter are what an unbounded stream would keep paying and what the
+    /// experiment harness reports.
     pub fn finish(mut self) -> (Vec<Tuple>, MetricsSnapshot) {
         self.sample_memory();
-        let snapshot = self.metrics.finish();
+        let steady = self.metrics.snapshot();
+        self.flush_suspended();
+        self.sample_memory();
+        let mut snapshot = self.metrics.finish();
+        snapshot.steady_cost_units = steady.cost_units;
+        snapshot.steady_peak_memory_bytes = steady.peak_memory_bytes;
         (self.results, snapshot)
+    }
+
+    /// End-of-stream flush: ask every operator to release the production it
+    /// is still withholding (suspended tuples, Ø-buffered inputs) and run
+    /// the resulting cascades, repeating until the plan is quiescent.
+    ///
+    /// Regenerated intermediates may themselves trigger fresh suspensions
+    /// downstream mid-flush, so one pass is not always enough; every
+    /// tuple pair is regenerated at most once (the operators' presence
+    /// bookkeeping guarantees that), which bounds the number of productive
+    /// rounds. The iteration cap is a defensive backstop only.
+    fn flush_suspended(&mut self) {
+        const MAX_ROUNDS: usize = 64;
+        let now = self.current_time;
+        for _ in 0..MAX_ROUNDS {
+            let mut quiescent = true;
+            for idx in 0..self.slots.len() {
+                let outcome = {
+                    let slot = &mut self.slots[idx];
+                    let mut ctx = OpContext::new(now, &mut self.metrics);
+                    slot.operator.flush(&mut ctx)
+                };
+                if !outcome.resumed.is_empty() || !outcome.propagate.is_empty() {
+                    quiescent = false;
+                }
+                self.route_results(OperatorId(idx), outcome.resumed, Priority::Resumed);
+                self.route_feedback(OperatorId(idx), outcome.propagate);
+                self.run_cascade();
+            }
+            if quiescent {
+                break;
+            }
+        }
     }
 }
 

@@ -6,9 +6,7 @@
 //! state, storing every generated intermediate result. It never sends or
 //! reacts to feedback.
 
-use crate::operator::{
-    DataMessage, OpContext, Operator, OperatorOutput, Port, LEFT, RIGHT,
-};
+use crate::operator::{DataMessage, OpContext, Operator, OperatorOutput, Port, LEFT, RIGHT};
 use crate::state::OperatorState;
 use jit_metrics::CostKind;
 use jit_types::{PredicateSet, SourceSet, Window};
@@ -88,7 +86,12 @@ impl Operator for RefJoinOperator {
         2
     }
 
-    fn process(&mut self, port: Port, msg: &DataMessage, ctx: &mut OpContext<'_>) -> OperatorOutput {
+    fn process(
+        &mut self,
+        port: Port,
+        msg: &DataMessage,
+        ctx: &mut OpContext<'_>,
+    ) -> OperatorOutput {
         debug_assert!(port == LEFT || port == RIGHT);
         let now = ctx.now;
         let (own_state, opp_state) = if port == LEFT {
@@ -109,7 +112,9 @@ impl Operator for RefJoinOperator {
         for entry in opp_state.iter() {
             ctx.metrics.stats.probe_pairs += 1;
             if self.window.can_join(msg.tuple.ts(), entry.tuple.ts())
-                && self.predicates.join_matches(&msg.tuple, &entry.tuple, &mut evals)
+                && self
+                    .predicates
+                    .join_matches(&msg.tuple, &entry.tuple, &mut evals)
             {
                 if let Ok(joined) = msg.tuple.join(&entry.tuple) {
                     ctx.metrics.charge(CostKind::ResultBuild, 1);
@@ -120,7 +125,10 @@ impl Operator for RefJoinOperator {
                 }
             }
         }
-        ctx.metrics.charge(CostKind::ProbePair, results.len() as u64 + opp_state.len() as u64);
+        ctx.metrics.charge(
+            CostKind::ProbePair,
+            results.len() as u64 + opp_state.len() as u64,
+        );
         ctx.metrics.stats.predicate_evals += evals;
         ctx.metrics.charge(CostKind::PredicateEval, evals);
 

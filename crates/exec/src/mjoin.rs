@@ -69,7 +69,12 @@ impl Operator for HalfJoinOperator {
         2
     }
 
-    fn process(&mut self, port: Port, msg: &DataMessage, ctx: &mut OpContext<'_>) -> OperatorOutput {
+    fn process(
+        &mut self,
+        port: Port,
+        msg: &DataMessage,
+        ctx: &mut OpContext<'_>,
+    ) -> OperatorOutput {
         let now = ctx.now;
         let purged = self.state.purge(self.window, now);
         ctx.metrics.stats.purged_tuples += purged as u64;
@@ -104,7 +109,8 @@ impl Operator for HalfJoinOperator {
                         }
                     }
                 }
-                ctx.metrics.charge(CostKind::ProbePair, self.state.len() as u64);
+                ctx.metrics
+                    .charge(CostKind::ProbePair, self.state.len() as u64);
                 ctx.metrics.stats.predicate_evals += evals;
                 ctx.metrics.charge(CostKind::PredicateEval, evals);
                 OperatorOutput::with_results(results)

@@ -148,7 +148,8 @@ pub trait Operator {
     fn num_ports(&self) -> usize;
 
     /// Process one data message arriving on `port`.
-    fn process(&mut self, port: Port, msg: &DataMessage, ctx: &mut OpContext<'_>) -> OperatorOutput;
+    fn process(&mut self, port: Port, msg: &DataMessage, ctx: &mut OpContext<'_>)
+        -> OperatorOutput;
 
     /// Handle a feedback message sent by a downstream consumer.
     ///
@@ -168,6 +169,24 @@ pub trait Operator {
     /// scheduling diagnostics)?
     fn is_suspended(&self) -> bool {
         false
+    }
+
+    /// End-of-stream flush: release every suppressed production the operator
+    /// is still holding back (suspended tuples, Ø-buffered inputs), exactly
+    /// as if every pending suspension had been resumed.
+    ///
+    /// Called by the executor when the input is exhausted — the streaming
+    /// analogue of a watermark/close: suppressed-but-still-demandable
+    /// results must be materialised before the run's output is final. On an
+    /// unbounded stream the same release happens incrementally through
+    /// MNS-expiry resumption; the flush is what bounds the delay on a
+    /// *finite* trace whose end arrives before the window does.
+    ///
+    /// The default is a no-op: operators that never withhold production
+    /// (the REF baseline, selections) have nothing to flush.
+    fn flush(&mut self, ctx: &mut OpContext<'_>) -> FeedbackOutcome {
+        let _ = ctx;
+        FeedbackOutcome::empty()
     }
 }
 

@@ -144,11 +144,7 @@ impl PlanBuilder {
 
     /// Add an operator whose ports are fed by `inputs` (port `p` gets
     /// `inputs[p]`). Returns the operator's id.
-    pub fn add_operator(
-        &mut self,
-        operator: Box<dyn Operator>,
-        inputs: Vec<Input>,
-    ) -> OperatorId {
+    pub fn add_operator(&mut self, operator: Box<dyn Operator>, inputs: Vec<Input>) -> OperatorId {
         for inp in &inputs {
             if let Input::Source(s) = inp {
                 self.max_source = self.max_source.max(s.index() + 1);
@@ -185,7 +181,8 @@ impl PlanBuilder {
         }
         // Compute consumers and source subscriptions.
         let mut consumers: Vec<Vec<(OperatorId, Port)>> = vec![Vec::new(); n];
-        let mut source_subscribers: Vec<Vec<(OperatorId, Port)>> = vec![Vec::new(); self.max_source];
+        let mut source_subscribers: Vec<Vec<(OperatorId, Port)>> =
+            vec![Vec::new(); self.max_source];
         for (idx, (_, inputs)) in self.slots.iter().enumerate() {
             for (port, inp) in inputs.iter().enumerate() {
                 match inp {
@@ -232,7 +229,7 @@ mod tests {
     }
 
     impl Dummy {
-        fn new(name: &str, ports: usize) -> Box<dyn Operator> {
+        fn boxed(name: &str, ports: usize) -> Box<dyn Operator> {
             Box::new(Dummy {
                 name: name.to_string(),
                 ports,
@@ -268,11 +265,11 @@ mod tests {
     fn builds_two_level_tree() {
         let mut b = PlanBuilder::new();
         let op1 = b.add_operator(
-            Dummy::new("A⋈B", 2),
+            Dummy::boxed("A⋈B", 2),
             vec![Input::Source(SourceId(0)), Input::Source(SourceId(1))],
         );
         let op2 = b.add_operator(
-            Dummy::new("AB⋈C", 2),
+            Dummy::boxed("AB⋈C", 2),
             vec![Input::Operator(op1), Input::Source(SourceId(2))],
         );
         let plan = b.build().unwrap();
@@ -295,7 +292,7 @@ mod tests {
     #[test]
     fn port_mismatch_is_rejected() {
         let mut b = PlanBuilder::new();
-        b.add_operator(Dummy::new("join", 2), vec![Input::Source(SourceId(0))]);
+        b.add_operator(Dummy::boxed("join", 2), vec![Input::Source(SourceId(0))]);
         match b.build() {
             Err(PlanError::PortMismatch { expected, got, .. }) => {
                 assert_eq!(expected, 2);
@@ -308,10 +305,7 @@ mod tests {
     #[test]
     fn forward_reference_is_rejected() {
         let mut b = PlanBuilder::new();
-        b.add_operator(
-            Dummy::new("bad", 1),
-            vec![Input::Operator(OperatorId(5))],
-        );
+        b.add_operator(Dummy::boxed("bad", 1), vec![Input::Operator(OperatorId(5))]);
         match b.build() {
             Err(PlanError::UnknownOperator(OperatorId(5))) => {}
             other => panic!("expected unknown operator, got {other:?}"),
@@ -322,8 +316,8 @@ mod tests {
     fn multiple_sinks_are_allowed() {
         // M-Join style: two independent paths.
         let mut b = PlanBuilder::new();
-        let a = b.add_operator(Dummy::new("pathA", 1), vec![Input::Source(SourceId(0))]);
-        let c = b.add_operator(Dummy::new("pathB", 1), vec![Input::Source(SourceId(1))]);
+        let a = b.add_operator(Dummy::boxed("pathA", 1), vec![Input::Source(SourceId(0))]);
+        let c = b.add_operator(Dummy::boxed("pathB", 1), vec![Input::Source(SourceId(1))]);
         let plan = b.build().unwrap();
         assert_eq!(plan.sinks(), vec![a, c]);
     }

@@ -49,7 +49,12 @@ impl Operator for SelectionOperator {
         1
     }
 
-    fn process(&mut self, _port: Port, msg: &DataMessage, ctx: &mut OpContext<'_>) -> OperatorOutput {
+    fn process(
+        &mut self,
+        _port: Port,
+        msg: &DataMessage,
+        ctx: &mut OpContext<'_>,
+    ) -> OperatorOutput {
         ctx.metrics.stats.predicate_evals += 1;
         ctx.metrics.charge(CostKind::PredicateEval, 1);
         // A tuple that does not cover the filtered column cannot satisfy the

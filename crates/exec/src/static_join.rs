@@ -54,14 +54,20 @@ impl Operator for StaticJoinOperator {
     }
 
     fn output_schema(&self) -> SourceSet {
-        self.input_schema.union(SourceSet::single(self.relation_source))
+        self.input_schema
+            .union(SourceSet::single(self.relation_source))
     }
 
     fn num_ports(&self) -> usize {
         1
     }
 
-    fn process(&mut self, _port: Port, msg: &DataMessage, ctx: &mut OpContext<'_>) -> OperatorOutput {
+    fn process(
+        &mut self,
+        _port: Port,
+        msg: &DataMessage,
+        ctx: &mut OpContext<'_>,
+    ) -> OperatorOutput {
         ctx.metrics.stats.state_probes += 1;
         let mut results = Vec::new();
         let mut evals = 0u64;
@@ -78,7 +84,8 @@ impl Operator for StaticJoinOperator {
                 }
             }
         }
-        ctx.metrics.charge(CostKind::ProbePair, self.relation.len() as u64);
+        ctx.metrics
+            .charge(CostKind::ProbePair, self.relation.len() as u64);
         ctx.metrics.stats.predicate_evals += evals;
         ctx.metrics.charge(CostKind::PredicateEval, evals);
         OperatorOutput::with_results(results)

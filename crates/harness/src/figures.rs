@@ -218,7 +218,7 @@ impl FigureResult {
                 row.measurements
                     .iter()
                     .find(|(m, _, _)| m == mode)
-                    .map(|(_, snap, _)| snap.cost_units)
+                    .map(|(_, snap, _)| snap.steady_cost_units)
             })
             .collect()
     }
@@ -231,7 +231,7 @@ impl FigureResult {
                 row.measurements
                     .iter()
                     .find(|(m, _, _)| m == mode)
-                    .map(|(_, snap, _)| snap.peak_memory_kb())
+                    .map(|(_, snap, _)| snap.steady_peak_memory_bytes as f64 / 1024.0)
             })
             .collect()
     }
@@ -251,13 +251,9 @@ pub fn run_figure(spec: &FigureSpec, duration_scale: f64, seed: u64) -> FigureRe
             collect_results: false,
             check_temporal_order: false,
         };
-        let outcomes = QueryRuntime::compare(
-            &config.workload,
-            &config.shape,
-            &config.modes,
-            exec_config,
-        )
-        .expect("figure plans are valid by construction");
+        let outcomes =
+            QueryRuntime::compare(&config.workload, &config.shape, &config.modes, exec_config)
+                .expect("figure plans are valid by construction");
         let measurements = outcomes
             .into_iter()
             .map(|o| (o.mode_label.to_string(), o.snapshot, o.results_count))
@@ -291,16 +287,20 @@ pub fn check_expectations(result: &FigureResult) -> Vec<String> {
             violations.push(format!("{}: missing REF or JIT at x={}", result.id, row.x));
             continue;
         };
-        if jit_m.1.cost_units as f64 > ref_m.1.cost_units as f64 * SLACK {
+        if jit_m.1.steady_cost_units as f64 > ref_m.1.steady_cost_units as f64 * SLACK {
             violations.push(format!(
                 "{}: JIT cost {} exceeds REF cost {} at x={}",
-                result.id, jit_m.1.cost_units, ref_m.1.cost_units, row.x
+                result.id, jit_m.1.steady_cost_units, ref_m.1.steady_cost_units, row.x
             ));
         }
-        if jit_m.1.peak_memory_bytes as f64 > ref_m.1.peak_memory_bytes as f64 * SLACK {
+        if jit_m.1.steady_peak_memory_bytes as f64 > ref_m.1.steady_peak_memory_bytes as f64 * SLACK
+        {
             violations.push(format!(
                 "{}: JIT peak memory {} exceeds REF {} at x={}",
-                result.id, jit_m.1.peak_memory_bytes, ref_m.1.peak_memory_bytes, row.x
+                result.id,
+                jit_m.1.steady_peak_memory_bytes,
+                ref_m.1.steady_peak_memory_bytes,
+                row.x
             ));
         }
         if jit_m.2 != ref_m.2 {
@@ -329,11 +329,17 @@ mod tests {
 
     #[test]
     fn sweep_values_match_table_iii() {
-        assert_eq!(FigureSpec::fig10().values, vec![10.0, 15.0, 20.0, 25.0, 30.0]);
+        assert_eq!(
+            FigureSpec::fig10().values,
+            vec![10.0, 15.0, 20.0, 25.0, 30.0]
+        );
         assert_eq!(FigureSpec::fig14().values, vec![5.0, 7.5, 10.0, 12.5, 15.0]);
         assert_eq!(FigureSpec::fig12().values, vec![4.0, 5.0, 6.0, 7.0, 8.0]);
         assert_eq!(FigureSpec::fig16().values, vec![3.0, 4.0, 5.0, 6.0]);
-        assert_eq!(FigureSpec::fig17().values, vec![30.0, 40.0, 50.0, 60.0, 70.0]);
+        assert_eq!(
+            FigureSpec::fig17().values,
+            vec![30.0, 40.0, 50.0, 60.0, 70.0]
+        );
     }
 
     #[test]

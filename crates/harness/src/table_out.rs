@@ -32,8 +32,8 @@ pub fn render_table(result: &FigureResult) -> String {
             {
                 line.push_str(&format!(
                     " | {:>14.3} {:>12.1} {:>10}",
-                    snap.cost_units as f64 / 1.0e6,
-                    snap.peak_memory_kb(),
+                    snap.steady_cost_units as f64 / 1.0e6,
+                    snap.steady_peak_memory_bytes as f64 / 1024.0,
                     results
                 ));
             }
@@ -66,9 +66,12 @@ pub fn render_csv(result: &FigureResult) -> String {
         for m in &modes {
             if let Some((_, snap, results)) = row.measurements.iter().find(|(name, _, _)| name == m)
             {
-                fields.push(snap.cost_units.to_string());
+                fields.push(snap.steady_cost_units.to_string());
                 fields.push(format!("{:.6}", snap.wall_seconds));
-                fields.push(format!("{:.2}", snap.peak_memory_kb()));
+                fields.push(format!(
+                    "{:.2}",
+                    snap.steady_peak_memory_bytes as f64 / 1024.0
+                ));
                 fields.push(results.to_string());
                 fields.push(snap.stats.intermediate_produced.to_string());
                 fields.push(snap.stats.intermediate_suppressed.to_string());
@@ -93,8 +96,10 @@ mod tests {
                 ..ExecStats::default()
             },
             cost_units: cost,
+            steady_cost_units: cost,
             wall_seconds: 0.5,
             peak_memory_bytes: mem,
+            steady_peak_memory_bytes: mem,
             final_memory_bytes: mem / 2,
         }
     }

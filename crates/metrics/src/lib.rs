@@ -22,12 +22,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub mod counters;
 pub mod cost;
+pub mod counters;
 pub mod memory;
 pub mod report;
 
-pub use counters::ExecStats;
 pub use cost::{CostKind, CostModel, CostTracker};
+pub use counters::ExecStats;
 pub use memory::{MemComponentId, MemoryTracker};
 pub use report::{MetricsSnapshot, RunMetrics};

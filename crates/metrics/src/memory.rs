@@ -95,7 +95,7 @@ impl MemoryTracker {
             .cloned()
             .zip(self.sizes.iter().copied())
             .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|entry| std::cmp::Reverse(entry.1));
         v
     }
 }

@@ -49,8 +49,10 @@ impl RunMetrics {
         MetricsSnapshot {
             stats: self.stats,
             cost_units: self.cost.total_units(),
+            steady_cost_units: self.cost.total_units(),
             wall_seconds: self.cost.wall_seconds(),
             peak_memory_bytes: self.memory.peak_bytes(),
+            steady_peak_memory_bytes: self.memory.peak_bytes(),
             final_memory_bytes: self.memory.current_bytes(),
         }
     }
@@ -61,8 +63,10 @@ impl RunMetrics {
         MetricsSnapshot {
             stats: self.stats,
             cost_units: self.cost.total_units(),
+            steady_cost_units: self.cost.total_units(),
             wall_seconds: self.cost.wall_seconds(),
             peak_memory_bytes: self.memory.peak_bytes(),
+            steady_peak_memory_bytes: self.memory.peak_bytes(),
             final_memory_bytes: self.memory.current_bytes(),
         }
     }
@@ -73,12 +77,20 @@ impl RunMetrics {
 pub struct MetricsSnapshot {
     /// Event counters.
     pub stats: ExecStats,
-    /// Total abstract CPU cost units.
+    /// Total abstract CPU cost units, including any end-of-stream flush.
     pub cost_units: u64,
+    /// Cost units spent *before* the end-of-stream flush (the steady-state
+    /// figure: what an unbounded stream would keep paying per unit of input;
+    /// the flush is a one-time artefact of a finite trace ending). Equals
+    /// [`MetricsSnapshot::cost_units`] when no flush happened.
+    pub steady_cost_units: u64,
     /// Wall-clock seconds.
     pub wall_seconds: f64,
-    /// Peak analytical memory in bytes.
+    /// Peak analytical memory in bytes over the whole run.
     pub peak_memory_bytes: usize,
+    /// Peak analytical memory before the end-of-stream flush (steady-state
+    /// figure). Equals [`MetricsSnapshot::peak_memory_bytes`] without one.
+    pub steady_peak_memory_bytes: usize,
     /// Memory still held at the end of the run, in bytes.
     pub final_memory_bytes: usize,
 }
@@ -113,11 +125,81 @@ impl MetricsSnapshot {
             self.peak_memory_bytes as f64 / other.peak_memory_bytes as f64
         }
     }
+
+    /// A snapshot with every quantity at zero (the identity of
+    /// [`MetricsSnapshot::absorb_parallel`]).
+    pub fn zero() -> MetricsSnapshot {
+        MetricsSnapshot {
+            stats: ExecStats::default(),
+            cost_units: 0,
+            steady_cost_units: 0,
+            wall_seconds: 0.0,
+            peak_memory_bytes: 0,
+            steady_peak_memory_bytes: 0,
+            final_memory_bytes: 0,
+        }
+    }
+
+    /// Fold another snapshot, taken by a *concurrently running* execution,
+    /// into this one:
+    ///
+    /// * counters and cost units add up (total work performed);
+    /// * wall-clock takes the maximum (parallel executions overlap);
+    /// * memory adds up (shards hold their states simultaneously, so the sum
+    ///   of per-shard peaks is the relevant upper bound).
+    pub fn absorb_parallel(&mut self, other: &MetricsSnapshot) {
+        self.stats += other.stats;
+        self.cost_units += other.cost_units;
+        self.steady_cost_units += other.steady_cost_units;
+        self.wall_seconds = self.wall_seconds.max(other.wall_seconds);
+        self.peak_memory_bytes += other.peak_memory_bytes;
+        self.steady_peak_memory_bytes += other.steady_peak_memory_bytes;
+        self.final_memory_bytes += other.final_memory_bytes;
+    }
+
+    /// Aggregate the snapshots of N parallel executions into one run-level
+    /// snapshot (see [`MetricsSnapshot::absorb_parallel`] for the rules).
+    pub fn aggregate_parallel<'a>(
+        snapshots: impl IntoIterator<Item = &'a MetricsSnapshot>,
+    ) -> MetricsSnapshot {
+        let mut total = MetricsSnapshot::zero();
+        for snapshot in snapshots {
+            total.absorb_parallel(snapshot);
+        }
+        total
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parallel_aggregation_rules() {
+        let mut a = MetricsSnapshot::zero();
+        a.stats.tuples_arrived = 10;
+        a.cost_units = 100;
+        a.wall_seconds = 2.0;
+        a.peak_memory_bytes = 4096;
+        a.final_memory_bytes = 64;
+        let mut b = MetricsSnapshot::zero();
+        b.stats.tuples_arrived = 5;
+        b.cost_units = 50;
+        b.wall_seconds = 3.0;
+        b.peak_memory_bytes = 1024;
+        b.final_memory_bytes = 32;
+
+        let total = MetricsSnapshot::aggregate_parallel([&a, &b]);
+        assert_eq!(total.stats.tuples_arrived, 15);
+        assert_eq!(total.cost_units, 150);
+        assert_eq!(total.wall_seconds, 3.0); // max, not sum
+        assert_eq!(total.peak_memory_bytes, 5120);
+        assert_eq!(total.final_memory_bytes, 96);
+
+        // Zero is the identity.
+        let same = MetricsSnapshot::aggregate_parallel([&total, &MetricsSnapshot::zero()]);
+        assert_eq!(same, total);
+    }
 
     #[test]
     fn finish_produces_consistent_snapshot() {
@@ -151,8 +233,10 @@ mod tests {
         let a = MetricsSnapshot {
             stats: ExecStats::default(),
             cost_units: 100,
+            steady_cost_units: 100,
             wall_seconds: 0.0,
             peak_memory_bytes: 4096,
+            steady_peak_memory_bytes: 4096,
             final_memory_bytes: 0,
         };
         let b = MetricsSnapshot {

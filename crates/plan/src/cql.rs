@@ -133,7 +133,10 @@ pub fn parse_cql(text: &str) -> Result<CqlQuery, CqlError> {
     let (from_part, where_part) = match upper.find(" WHERE ") {
         Some(idx) => {
             let idx = idx - "SELECT * FROM ".len();
-            (&after_from[..idx], Some(&after_from[idx + " WHERE ".len()..]))
+            (
+                &after_from[..idx],
+                Some(&after_from[idx + " WHERE ".len()..]),
+            )
         }
         None => (after_from, None),
     };

@@ -200,10 +200,7 @@ mod tests {
                 assert_eq!(node.left, PlanInput::Node(i - 1));
             }
             // The root covers every source.
-            assert_eq!(
-                *shape.node_schemas().last().unwrap(),
-                SourceSet::first_n(n)
-            );
+            assert_eq!(*shape.node_schemas().last().unwrap(), SourceSet::first_n(n));
         }
     }
 
@@ -228,7 +225,10 @@ mod tests {
                 }
             }
             assert!(source_uses.iter().all(|&c| c == 1), "N={n}");
-            assert!(node_uses[..nodes.len() - 1].iter().all(|&c| c == 1), "N={n}");
+            assert!(
+                node_uses[..nodes.len() - 1].iter().all(|&c| c == 1),
+                "N={n}"
+            );
             assert_eq!(node_uses[nodes.len() - 1], 0, "root is not consumed");
         }
     }
@@ -252,7 +252,10 @@ mod tests {
             shape.input_schema(PlanInput::Source(2)),
             SourceSet::single(SourceId(2))
         );
-        assert_eq!(shape.input_schema(PlanInput::Node(0)), SourceSet::first_n(2));
+        assert_eq!(
+            shape.input_schema(PlanInput::Node(0)),
+            SourceSet::first_n(2)
+        );
     }
 
     #[test]

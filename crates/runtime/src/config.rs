@@ -1,0 +1,97 @@
+//! Runtime configuration knobs.
+
+/// Configuration of the sharded parallel runtime.
+///
+/// * `shards` — number of independent executors (one OS thread each). The
+///   join-key space is hash-partitioned over them.
+/// * `batch_size` — arrivals per ingestion batch. The feeder groups
+///   consecutive same-shard arrivals into batches before sending, amortising
+///   channel synchronisation over many tuples.
+/// * `channel_capacity` — bound (in batches) of each shard's ingestion
+///   channel. A full channel blocks the feeder (backpressure) instead of
+///   queueing unboundedly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Number of shards / worker threads (≥ 1).
+    pub shards: usize,
+    /// Arrivals per ingestion batch (≥ 1).
+    pub batch_size: usize,
+    /// Per-shard channel bound, in batches (≥ 1).
+    pub channel_capacity: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            shards: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            batch_size: 64,
+            channel_capacity: 32,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// A configuration with the given shard count and default batching.
+    pub fn with_shards(shards: usize) -> Self {
+        RuntimeConfig {
+            shards,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    /// Set the ingestion batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Set the per-shard channel bound (in batches).
+    pub fn with_channel_capacity(mut self, channel_capacity: usize) -> Self {
+        self.channel_capacity = channel_capacity;
+        self
+    }
+
+    /// Clamp every knob to its minimum legal value.
+    pub fn normalized(mut self) -> Self {
+        self.shards = self.shards.max(1);
+        self.batch_size = self.batch_size.max(1);
+        self.channel_capacity = self.channel_capacity.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_parallel_and_legal() {
+        let config = RuntimeConfig::default();
+        assert!(config.shards >= 1);
+        assert!(config.batch_size >= 1);
+        assert!(config.channel_capacity >= 1);
+    }
+
+    #[test]
+    fn builders_and_normalization() {
+        let config = RuntimeConfig::with_shards(4)
+            .with_batch_size(0)
+            .with_channel_capacity(0)
+            .normalized();
+        assert_eq!(config.shards, 4);
+        assert_eq!(config.batch_size, 1);
+        assert_eq!(config.channel_capacity, 1);
+        assert_eq!(
+            RuntimeConfig {
+                shards: 0,
+                batch_size: 7,
+                channel_capacity: 9
+            }
+            .normalized()
+            .shards,
+            1
+        );
+    }
+}

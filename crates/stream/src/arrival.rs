@@ -41,9 +41,8 @@ impl ArrivalProcess {
     /// The process's mean rate in tuples per second.
     pub fn rate_per_sec(&self) -> f64 {
         match self {
-            ArrivalProcess::Poisson { rate_per_sec } | ArrivalProcess::Constant { rate_per_sec } => {
-                *rate_per_sec
-            }
+            ArrivalProcess::Poisson { rate_per_sec }
+            | ArrivalProcess::Constant { rate_per_sec } => *rate_per_sec,
         }
     }
 

@@ -41,7 +41,15 @@ impl WorkloadGenerator {
             };
             let times = process.arrival_times(duration_ms, &mut rng);
             for (seq, ts) in times.into_iter().enumerate() {
-                let values = source_spec.sample_values(&mut rng);
+                let values = if spec.shared_key {
+                    // Shared-key mode: one draw, replicated across all
+                    // columns, so every clique predicate reduces to an
+                    // equality between tuple keys (key-partitionable).
+                    let key = source_spec.default_domain.sample(&mut rng);
+                    vec![key; source_spec.num_columns]
+                } else {
+                    source_spec.sample_values(&mut rng)
+                };
                 let tuple = Arc::new(BaseTuple::new(source, seq as u64, ts, values));
                 events.push(ArrivalEvent { ts, source, tuple });
             }
@@ -97,10 +105,7 @@ mod tests {
     fn trace_is_sorted_and_within_duration() {
         let spec = small_spec();
         let trace = WorkloadGenerator::generate(&spec);
-        assert!(trace
-            .events()
-            .windows(2)
-            .all(|w| w[0].ts <= w[1].ts));
+        assert!(trace.events().windows(2).all(|w| w[0].ts <= w[1].ts));
         assert!(trace.horizon().as_millis() < spec.duration.as_millis());
     }
 

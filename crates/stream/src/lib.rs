@@ -20,6 +20,7 @@
 
 pub mod arrival;
 pub mod generator;
+pub mod partition;
 pub mod skew;
 pub mod source;
 pub mod static_rel;
@@ -28,6 +29,7 @@ pub mod workload;
 
 pub use arrival::{ArrivalEvent, ArrivalProcess};
 pub use generator::WorkloadGenerator;
+pub use partition::ShardPartitioner;
 pub use source::{SourceSpec, ValueDomain};
 pub use trace::Trace;
 pub use workload::WorkloadSpec;

@@ -91,8 +91,8 @@ mod tests {
         for _ in 0..40_000 {
             counts[z.sample(&mut rng) as usize] += 1;
         }
-        for k in 1..=4 {
-            let share = counts[k] as f64 / 40_000.0;
+        for (k, &count) in counts.iter().enumerate().skip(1) {
+            let share = count as f64 / 40_000.0;
             assert!((share - 0.25).abs() < 0.02, "value {k} share {share}");
         }
     }

@@ -67,7 +67,12 @@ pub struct SourceSpec {
 
 impl SourceSpec {
     /// A source with uniform values in `[1..=dmax]` on every column.
-    pub fn uniform(name: impl Into<String>, rate_per_sec: f64, num_columns: usize, dmax: u64) -> Self {
+    pub fn uniform(
+        name: impl Into<String>,
+        rate_per_sec: f64,
+        num_columns: usize,
+        dmax: u64,
+    ) -> Self {
         SourceSpec {
             name: name.into(),
             rate_per_sec,
@@ -165,13 +170,13 @@ mod tests {
 
     #[test]
     fn per_column_override_applies() {
-        let spec = SourceSpec::uniform("D", 1.0, 2, 50)
-            .with_column_domain(1, ValueDomain::uniform(5_000));
+        let spec =
+            SourceSpec::uniform("D", 1.0, 2, 50).with_column_domain(1, ValueDomain::uniform(5_000));
         assert_eq!(spec.domain_of(0).max(), 50);
         assert_eq!(spec.domain_of(1).max(), 5_000);
         // out-of-range column override is ignored
-        let spec2 = SourceSpec::uniform("D", 1.0, 2, 50)
-            .with_column_domain(9, ValueDomain::uniform(5_000));
+        let spec2 =
+            SourceSpec::uniform("D", 1.0, 2, 50).with_column_domain(9, ValueDomain::uniform(5_000));
         assert_eq!(spec2.domain_of(0).max(), 50);
     }
 

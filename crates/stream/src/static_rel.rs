@@ -32,7 +32,8 @@ impl StaticRelation {
         let mut rng = StdRng::seed_from_u64(seed);
         let tuples = (0..cardinality)
             .map(|seq| {
-                let values: Vec<Value> = (0..num_columns).map(|_| domain.sample(&mut rng)).collect();
+                let values: Vec<Value> =
+                    (0..num_columns).map(|_| domain.sample(&mut rng)).collect();
                 Arc::new(BaseTuple::new(source, seq as u64, Timestamp::ZERO, values))
             })
             .collect();

@@ -103,7 +103,12 @@ mod tests {
         ArrivalEvent {
             ts,
             source: SourceId(source),
-            tuple: Arc::new(BaseTuple::new(SourceId(source), seq, ts, vec![Value::int(1)])),
+            tuple: Arc::new(BaseTuple::new(
+                SourceId(source),
+                seq,
+                ts,
+                vec![Value::int(1)],
+            )),
         }
     }
 

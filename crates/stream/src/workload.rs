@@ -32,6 +32,13 @@ pub struct WorkloadSpec {
     pub arrival: ArrivalProcess,
     /// Optional Zipf exponent: when set, values are skewed instead of uniform.
     pub zipf_exponent: Option<f64>,
+    /// Shared-key mode: every tuple draws a *single* key value and carries it
+    /// in all of its columns, so each clique predicate reduces to an equality
+    /// between the two tuples' keys. Such workloads are *key-partitionable*:
+    /// tuples can only ever join within the same key, which is what the
+    /// sharded parallel runtime (`jit-runtime`) exploits to distribute the
+    /// join-key space across cores without losing results.
+    pub shared_key: bool,
 }
 
 impl WorkloadSpec {
@@ -47,6 +54,7 @@ impl WorkloadSpec {
             seed: 42,
             arrival: ArrivalProcess::Poisson { rate_per_sec: 1.0 },
             zipf_exponent: None,
+            shared_key: false,
         }
     }
 
@@ -62,6 +70,7 @@ impl WorkloadSpec {
             seed: 42,
             arrival: ArrivalProcess::Poisson { rate_per_sec: 1.0 },
             zipf_exponent: None,
+            shared_key: false,
         }
     }
 
@@ -102,6 +111,13 @@ impl WorkloadSpec {
     /// Set the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Switch to the shared-key (key-partitionable) workload: one key value
+    /// per tuple, replicated across all columns. See [`WorkloadSpec::shared_key`].
+    pub fn with_shared_key(mut self) -> Self {
+        self.shared_key = true;
         self
     }
 

@@ -112,8 +112,7 @@ impl Feedback {
 
     /// Approximate footprint in bytes (for queue memory accounting).
     pub fn size_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.mns_set.iter().map(Tuple::size_bytes).sum::<usize>()
+        std::mem::size_of::<Self>() + self.mns_set.iter().map(Tuple::size_bytes).sum::<usize>()
     }
 }
 

@@ -292,7 +292,11 @@ pub struct FilterPredicate {
 impl FilterPredicate {
     /// Construct a filter predicate.
     pub fn new(column: ColumnRef, op: CompareOp, constant: Value) -> Self {
-        FilterPredicate { column, op, constant }
+        FilterPredicate {
+            column,
+            op,
+            constant,
+        }
     }
 
     /// `column > constant`.
@@ -477,8 +481,14 @@ mod tests {
     fn sources_facing_restricts_cns_components() {
         // 3-way query from Figure 1: A.x = B.x, A.y = C.y.
         let preds = PredicateSet::from_predicates(vec![
-            EquiPredicate::new(ColumnRef::new(SourceId(0), 0), ColumnRef::new(SourceId(1), 0)),
-            EquiPredicate::new(ColumnRef::new(SourceId(0), 1), ColumnRef::new(SourceId(2), 0)),
+            EquiPredicate::new(
+                ColumnRef::new(SourceId(0), 0),
+                ColumnRef::new(SourceId(1), 0),
+            ),
+            EquiPredicate::new(
+                ColumnRef::new(SourceId(0), 1),
+                ColumnRef::new(SourceId(2), 0),
+            ),
         ]);
         let ab = SourceSet::first_n(2);
         let c = SourceSet::single(SourceId(2));

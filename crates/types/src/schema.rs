@@ -81,6 +81,10 @@ impl SourceSet {
     }
 
     /// Build a set from an iterator of source ids.
+    ///
+    /// An inherent method (not the `FromIterator` trait) so call sites can
+    /// stay turbofish-free: `SourceSet::from_iter(ids)`.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter(ids: impl IntoIterator<Item = SourceId>) -> Self {
         let mut s = SourceSet::EMPTY;
         for id in ids {
@@ -239,7 +243,10 @@ impl SourceSchema {
 
     /// Look up a column index by name.
     pub fn column_index(&self, name: &str) -> Option<u16> {
-        self.columns.iter().position(|c| c == name).map(|i| i as u16)
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .map(|i| i as u16)
     }
 
     /// A [`ColumnRef`] for the named column, if it exists.

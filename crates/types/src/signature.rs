@@ -48,10 +48,7 @@ impl Signature {
 
     /// The value recorded for `column`, if the signature covers it.
     pub fn value(&self, column: ColumnRef) -> Option<&Value> {
-        self.0
-            .iter()
-            .find(|(c, _)| *c == column)
-            .map(|(_, v)| v)
+        self.0.iter().find(|(c, _)| *c == column).map(|(_, v)| v)
     }
 
     /// Approximate footprint in bytes.
@@ -116,8 +113,14 @@ mod tests {
         let a = tup(0, 1, &[5]);
         let sig = Signature::of(&a, &cols);
         assert_eq!(sig.len(), 2);
-        assert_eq!(sig.value(ColumnRef::new(SourceId(1), 0)), Some(&Value::Null));
-        assert_eq!(sig.value(ColumnRef::new(SourceId(0), 0)), Some(&Value::int(5)));
+        assert_eq!(
+            sig.value(ColumnRef::new(SourceId(1), 0)),
+            Some(&Value::Null)
+        );
+        assert_eq!(
+            sig.value(ColumnRef::new(SourceId(0), 0)),
+            Some(&Value::int(5))
+        );
     }
 
     #[test]

@@ -165,7 +165,8 @@ impl Tuple {
                 right: other.sources,
             });
         }
-        let mut parts: Vec<Arc<BaseTuple>> = Vec::with_capacity(self.parts.len() + other.parts.len());
+        let mut parts: Vec<Arc<BaseTuple>> =
+            Vec::with_capacity(self.parts.len() + other.parts.len());
         parts.extend(self.parts.iter().cloned());
         parts.extend(other.parts.iter().cloned());
         parts.sort_by_key(|p| p.source);
@@ -192,7 +193,11 @@ impl Tuple {
     /// result are pairwise within the window, hence
     /// `ts() − min_ts() ≤ w` must hold.
     pub fn min_ts(&self) -> Timestamp {
-        self.parts.iter().map(|p| p.ts).min().unwrap_or(Timestamp::ZERO)
+        self.parts
+            .iter()
+            .map(|p| p.ts)
+            .min()
+            .unwrap_or(Timestamp::ZERO)
     }
 
     /// Is this the empty tuple Ø?
@@ -277,8 +282,7 @@ impl Tuple {
     /// full payload (that is exactly the memory REF wastes on NPRs), so we
     /// deliberately count component payloads rather than pointer sizes.
     pub fn size_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.parts.iter().map(|p| p.size_bytes()).sum::<usize>()
+        std::mem::size_of::<Self>() + self.parts.iter().map(|p| p.size_bytes()).sum::<usize>()
     }
 }
 
@@ -387,8 +391,14 @@ mod tests {
         let a = Tuple::from_base(base(0, 1, 100, &[10, 20]));
         let b = Tuple::from_base(base(1, 1, 100, &[30]));
         let ab = a.join(&b).unwrap();
-        assert_eq!(ab.value(ColumnRef::new(SourceId(0), 1)), Some(&Value::int(20)));
-        assert_eq!(ab.value(ColumnRef::new(SourceId(1), 0)), Some(&Value::int(30)));
+        assert_eq!(
+            ab.value(ColumnRef::new(SourceId(0), 1)),
+            Some(&Value::int(20))
+        );
+        assert_eq!(
+            ab.value(ColumnRef::new(SourceId(1), 0)),
+            Some(&Value::int(30))
+        );
         assert_eq!(ab.value(ColumnRef::new(SourceId(2), 0)), None);
         assert_eq!(ab.value(ColumnRef::new(SourceId(0), 5)), None);
     }

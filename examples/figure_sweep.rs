@@ -16,10 +16,7 @@ use jit_dsms::prelude::*;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let figure_id = args.get(1).map(String::as_str).unwrap_or("fig10");
-    let scale: f64 = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.05);
+    let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.05);
 
     let spec = FigureSpec::by_id(figure_id).unwrap_or_else(|| {
         eprintln!("unknown figure {figure_id}; expected fig10..fig17");
@@ -35,7 +32,9 @@ fn main() {
     let violations = check_expectations(&result);
     if violations.is_empty() {
         println!("✓ the measured series reproduces the paper's qualitative shape:");
-        println!("  JIT never exceeds REF in CPU cost or peak memory and both report the same results.");
+        println!(
+            "  JIT never exceeds REF in CPU cost or peak memory and both report the same results."
+        );
     } else {
         println!("✗ deviations from the paper's expectations:");
         for v in violations {

@@ -32,8 +32,14 @@ fn base(source: u16, seq: u64, ts_s: u64, values: Vec<i64>) -> Arc<BaseTuple> {
 fn main() {
     // Figure 1: A(x, y), B(x), C(y); predicates A.x = B.x and A.y = C.y.
     let predicates = PredicateSet::from_predicates(vec![
-        EquiPredicate::new(ColumnRef::new(SourceId(0), 0), ColumnRef::new(SourceId(1), 0)),
-        EquiPredicate::new(ColumnRef::new(SourceId(0), 1), ColumnRef::new(SourceId(2), 0)),
+        EquiPredicate::new(
+            ColumnRef::new(SourceId(0), 0),
+            ColumnRef::new(SourceId(1), 0),
+        ),
+        EquiPredicate::new(
+            ColumnRef::new(SourceId(0), 1),
+            ColumnRef::new(SourceId(2), 0),
+        ),
     ]);
     let window = Window::new(Duration::from_mins(5));
     let policy = JitPolicy::full();
@@ -106,6 +112,10 @@ fn main() {
     let op1_ref = executor.operator(op1);
     println!(
         "(Op1 is {} suspended at the end of the run.)",
-        if op1_ref.is_suspended() { "still" } else { "no longer" }
+        if op1_ref.is_suspended() {
+            "still"
+        } else {
+            "no longer"
+        }
     );
 }

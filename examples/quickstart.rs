@@ -23,7 +23,10 @@ fn main() {
          WHERE A.x = B.x AND A.y = C.y",
     )
     .expect("the paper's query parses");
-    println!("query window: {:?} minutes", query.window().length.as_mins_f64());
+    println!(
+        "query window: {:?} minutes",
+        query.window().length.as_mins_f64()
+    );
 
     // A three-source clique workload: 1.3 tuples/s/source, values in
     // [1..150] (a selective join — most partial results never find a C

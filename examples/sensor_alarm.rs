@@ -70,8 +70,7 @@ fn main() {
     assert!(output::missing_from(&jit_run.results, &ref_run.results).is_empty());
     println!(
         "\n✓ all fresh alarms raised; JIT avoided {} of {} partial results ({:.0}%)",
-        ref_run.snapshot.stats.intermediate_produced
-            - jit_run.snapshot.stats.intermediate_produced,
+        ref_run.snapshot.stats.intermediate_produced - jit_run.snapshot.stats.intermediate_produced,
         ref_run.snapshot.stats.intermediate_produced,
         100.0
             * (ref_run.snapshot.stats.intermediate_produced

@@ -14,15 +14,20 @@
 //! * [`core`] — the JIT mechanism: MNS detection, blacklists, feedback,
 //!   dynamic production control, plus the DOE baseline.
 //! * [`plan`] — plan construction (bushy / left-deep / M-Join / Eddy).
-//! * [`harness`] — experiment harness regenerating the paper's figures.
+//! * [`runtime`] — the sharded parallel runtime: hash-partitioned
+//!   multi-core execution of the same plans.
+//! * [`harness`] — experiment harness regenerating the paper's figures,
+//!   plus the parallel entry point for scaling experiments.
 //!
-//! See `examples/quickstart.rs` for a five-minute tour.
+//! See `examples/quickstart.rs` for a five-minute tour and
+//! `examples/parallel_quickstart.rs` for the multi-core version.
 
 pub use jit_core as core;
 pub use jit_exec as exec;
 pub use jit_harness as harness;
 pub use jit_metrics as metrics;
 pub use jit_plan as plan;
+pub use jit_runtime as runtime;
 pub use jit_stream as stream;
 pub use jit_types as types;
 
@@ -34,11 +39,13 @@ pub mod prelude {
     pub use jit_exec::output;
     pub use jit_harness::config::ExperimentConfig;
     pub use jit_harness::figures::{run_figure, FigureSpec};
+    pub use jit_harness::parallel::{parallel_workload, run_parallel, run_parallel_trace};
     pub use jit_plan::cql::parse_cql;
     pub use jit_plan::runtime::{QueryRuntime, RunOutcome};
     pub use jit_plan::shapes::{PlanShape, TreeShape};
+    pub use jit_runtime::{ParallelOutcome, RuntimeConfig, ShardedRuntime};
     pub use jit_stream::workload::WorkloadSpec;
-    pub use jit_stream::{Trace, WorkloadGenerator};
+    pub use jit_stream::{ShardPartitioner, Trace, WorkloadGenerator};
     pub use jit_types::{
         Catalog, ColumnRef, Duration, EquiPredicate, Feedback, FeedbackCommand, PredicateSet,
         SourceId, SourceSet, Timestamp, Tuple, Value, Window,

@@ -19,11 +19,7 @@
 use jit_dsms::prelude::*;
 use proptest::prelude::*;
 
-fn run_modes(
-    spec: &WorkloadSpec,
-    shape: &PlanShape,
-    modes: &[ExecutionMode],
-) -> Vec<RunOutcome> {
+fn run_modes(spec: &WorkloadSpec, shape: &PlanShape, modes: &[ExecutionMode]) -> Vec<RunOutcome> {
     QueryRuntime::compare(spec, shape, modes, ExecutorConfig::default()).expect("plan builds")
 }
 
@@ -100,8 +96,7 @@ fn expiring_workload_jit_is_duplicate_free_subset() {
         "JIT produced results REF does not have"
     );
     // Anything REF-only must involve an expired component pair.
-    let jit_keys: std::collections::BTreeSet<_> =
-        jit_run.results.iter().map(|t| t.key()).collect();
+    let jit_keys: std::collections::BTreeSet<_> = jit_run.results.iter().map(|t| t.key()).collect();
     for result in &ref_run.results {
         if !jit_keys.contains(&result.key()) {
             assert!(

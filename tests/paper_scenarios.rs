@@ -24,8 +24,14 @@ fn base(source: u16, seq: u64, ts_s: u64, values: Vec<i64>) -> Arc<BaseTuple> {
 /// Predicates of Figure 1: A.x = B.x ∧ A.y = C.y.
 fn figure1_predicates() -> PredicateSet {
     PredicateSet::from_predicates(vec![
-        EquiPredicate::new(ColumnRef::new(SourceId(0), 0), ColumnRef::new(SourceId(1), 0)),
-        EquiPredicate::new(ColumnRef::new(SourceId(0), 1), ColumnRef::new(SourceId(2), 0)),
+        EquiPredicate::new(
+            ColumnRef::new(SourceId(0), 0),
+            ColumnRef::new(SourceId(1), 0),
+        ),
+        EquiPredicate::new(
+            ColumnRef::new(SourceId(0), 1),
+            ColumnRef::new(SourceId(2), 0),
+        ),
     ])
 }
 
@@ -50,7 +56,10 @@ fn figure1_plan(mode: ExecutionMode) -> Executor {
             policy,
         )),
     };
-    let op1 = builder.add_operator(op1, vec![Input::Source(SourceId(0)), Input::Source(SourceId(1))]);
+    let op1 = builder.add_operator(
+        op1,
+        vec![Input::Source(SourceId(0)), Input::Source(SourceId(1))],
+    );
     let op2: Box<dyn Operator> = match mode.policy() {
         None => Box::new(RefJoinOperator::new(
             "AB⋈C",
@@ -203,7 +212,11 @@ fn selection_consumer_suppresses_upstream_production() {
     assert!(stats.feedback_suspend >= 1);
     // REF would have produced 1 + 3·1 + 3 = 7 partials; JIT suppresses the
     // later a1 joins.
-    assert!(stats.intermediate_produced < 7, "got {}", stats.intermediate_produced);
+    assert!(
+        stats.intermediate_produced < 7,
+        "got {}",
+        stats.intermediate_produced
+    );
 }
 
 #[test]
