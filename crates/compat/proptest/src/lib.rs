@@ -2,7 +2,8 @@
 //!
 //! Supports the features the workspace's tests use: the [`proptest!`] macro
 //! (with an optional `#![proptest_config(...)]` header), range and boolean
-//! [`Strategy`]s, [`ProptestConfig`] and the `prop_assert*` macros.
+//! [`Strategy`](strategy::Strategy)s, [`ProptestConfig`] and the
+//! `prop_assert*` macros.
 //!
 //! Sampling is deterministic: each test function draws its inputs from a
 //! fixed-seed generator (override with the `PROPTEST_SEED` environment

@@ -1,0 +1,401 @@
+//! Building engines: validated configuration in, runnable [`Engine`] out.
+
+use crate::backend::{Backend, EngineOutcome, ShardedBackend, SingleThreadBackend};
+use crate::error::EngineError;
+use crate::partition::check_key_partitionable;
+use crate::query::{QuerySpec, ResolvedQuery};
+use crate::session::Session;
+use jit_core::policy::ExecutionMode;
+use jit_exec::executor::{Executor, ExecutorConfig};
+use jit_plan::builder::build_tree_plan;
+use jit_plan::shapes::PlanShape;
+use jit_runtime::{RuntimeConfig, ShardPartitioner, ShardedRuntime};
+use jit_stream::{Trace, WorkloadSpec};
+use jit_types::{PredicateSet, Window};
+
+/// Typed, defaulted construction of an [`Engine`].
+///
+/// Replaces the positional-argument sprawl of the historical entry points
+/// (`QueryRuntime::run`, `run_parallel`, `run_parallel_trace`): the query
+/// comes in as CQL *or* as a plan shape + predicates, the execution mode and
+/// executor knobs default sensibly, and a single [`EngineBuilder::sharded`]
+/// call switches the same program from the single-threaded executor to the
+/// hash-partitioned multi-core runtime.
+///
+/// Every input is validated at [`EngineBuilder::build`] time with a typed
+/// [`EngineError`] — including the key-partitionability of the workload when
+/// the sharded backend is requested, which previously could silently lose
+/// results.
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    query: Option<QuerySpec>,
+    mode: ExecutionMode,
+    exec_config: ExecutorConfig,
+    runtime: Option<RuntimeConfig>,
+    key_column: usize,
+    assume_partitionable: bool,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            query: None,
+            mode: ExecutionMode::Ref,
+            exec_config: ExecutorConfig::default(),
+            runtime: None,
+            key_column: 0,
+            assume_partitionable: false,
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// A fresh builder: REF mode, default executor configuration,
+    /// single-threaded backend, no query yet.
+    pub fn new() -> Self {
+        EngineBuilder::default()
+    }
+
+    /// Define the query with a CQL-subset string (parsed and resolved at
+    /// [`EngineBuilder::build`]; the plan is the left-deep tree over the
+    /// declared sources).
+    pub fn query_cql(mut self, text: impl Into<String>) -> Self {
+        self.query = Some(QuerySpec::Cql(text.into()));
+        self
+    }
+
+    /// Define the query explicitly: a Table-II plan shape, the equi-join
+    /// predicates, and the sliding window.
+    pub fn query_shape(
+        mut self,
+        shape: PlanShape,
+        predicates: PredicateSet,
+        window: Window,
+    ) -> Self {
+        self.query = Some(QuerySpec::Shape {
+            shape,
+            predicates,
+            window,
+        });
+        self
+    }
+
+    /// Define the query from a synthetic [`WorkloadSpec`] and a plan shape —
+    /// the form every experiment uses. The partitionability assumption is
+    /// taken *from the spec*: shared-key workloads assert their data-level
+    /// partitionability (see [`EngineBuilder::assume_key_partitionable`]),
+    /// and a non-shared-key spec clears any earlier assumption so a reused
+    /// builder cannot smuggle the flag onto a workload it is not true for.
+    /// Call `assume_key_partitionable()` *after* `workload()` to override.
+    pub fn workload(mut self, spec: &WorkloadSpec, shape: &PlanShape) -> Self {
+        self.assume_partitionable = spec.shared_key;
+        self.query_shape(*shape, spec.predicates(), spec.window())
+    }
+
+    /// Set the execution mode (REF / DOE / JIT with a policy). Default REF.
+    pub fn mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Set the per-executor options (result collection, temporal-order
+    /// checking).
+    pub fn executor_config(mut self, config: ExecutorConfig) -> Self {
+        self.exec_config = config;
+        self
+    }
+
+    /// Use the sharded multi-core backend with the given runtime
+    /// configuration. The workload must be key-partitionable (statically
+    /// provable from the predicates, or asserted via
+    /// [`EngineBuilder::assume_key_partitionable`]) whenever more than one
+    /// shard is configured.
+    pub fn sharded(mut self, config: RuntimeConfig) -> Self {
+        self.runtime = Some(config);
+        self
+    }
+
+    /// Use the single-threaded cascade executor (the default).
+    pub fn single_threaded(mut self) -> Self {
+        self.runtime = None;
+        self
+    }
+
+    /// Hash this column (of every source) for shard assignment. Default 0.
+    pub fn partition_key_column(mut self, column: usize) -> Self {
+        self.key_column = column;
+        self
+    }
+
+    /// Assert that the workload is key-partitionable as a *data* invariant
+    /// even though the predicates do not prove it — the generator's
+    /// shared-key mode replicates one key value into every column, so the
+    /// clique predicates all reduce to key equality at runtime. With this
+    /// set, [`EngineBuilder::build`] skips the static partitionability
+    /// check.
+    pub fn assume_key_partitionable(mut self) -> Self {
+        self.assume_partitionable = true;
+        self
+    }
+
+    /// Validate everything and produce a reusable [`Engine`].
+    ///
+    /// Typed failures: missing/malformed/unsupported queries, illegal
+    /// runtime knobs ([`jit_runtime::ConfigError`]), plan-construction
+    /// errors, and — for the sharded backend with more than one shard — a
+    /// workload whose join predicates do not all reduce to equality on the
+    /// partition key ([`EngineError::NotPartitionable`]).
+    pub fn build(self) -> Result<Engine, EngineError> {
+        let spec = self.query.ok_or(EngineError::MissingQuery)?;
+        let query = spec.resolve()?;
+        if let Some(config) = &self.runtime {
+            config.validate()?;
+            if config.shards > 1 && !self.assume_partitionable {
+                check_key_partitionable(
+                    &query.predicates,
+                    query.shape.num_sources,
+                    self.key_column,
+                )
+                .map_err(|detail| EngineError::NotPartitionable { detail })?;
+            }
+        }
+        // Dry-build one plan instance so plan errors also surface now, not
+        // at the first session.
+        build_tree_plan(&query.shape, &query.predicates, query.window, self.mode)?;
+        Ok(Engine {
+            query,
+            mode: self.mode,
+            exec_config: self.exec_config,
+            runtime: self.runtime,
+            key_column: self.key_column,
+        })
+    }
+
+    /// Run the same trace once per mode (on otherwise identical engines)
+    /// and return the outcomes in mode order. At least one mode is required
+    /// ([`EngineError::EmptyModes`]).
+    pub fn compare(
+        &self,
+        trace: &Trace,
+        modes: &[ExecutionMode],
+    ) -> Result<Vec<EngineOutcome>, EngineError> {
+        if modes.is_empty() {
+            return Err(EngineError::EmptyModes);
+        }
+        modes
+            .iter()
+            .map(|mode| self.clone().mode(*mode).build()?.run_trace(trace))
+            .collect()
+    }
+}
+
+/// A validated continuous-query engine.
+///
+/// The engine itself is passive configuration; [`Engine::session`] opens a
+/// live push-based [`Session`] on the configured backend (any number of
+/// sessions may be opened, sequentially or concurrently — each gets fresh
+/// operator state).
+#[derive(Debug, Clone)]
+pub struct Engine {
+    query: ResolvedQuery,
+    mode: ExecutionMode,
+    exec_config: ExecutorConfig,
+    runtime: Option<RuntimeConfig>,
+    key_column: usize,
+}
+
+impl Engine {
+    /// Start building an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// The resolved query (shape, predicates, window).
+    pub fn query(&self) -> &ResolvedQuery {
+        &self.query
+    }
+
+    /// The configured execution mode.
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// Does this engine run on the sharded multi-core backend?
+    pub fn is_sharded(&self) -> bool {
+        self.runtime.is_some()
+    }
+
+    /// Open a live session: instantiate the plan(s), spawn shard workers if
+    /// sharded, and return the push-based handle.
+    pub fn session(&self) -> Result<Session, EngineError> {
+        let backend: Box<dyn Backend> = match &self.runtime {
+            None => {
+                let plan = build_tree_plan(
+                    &self.query.shape,
+                    &self.query.predicates,
+                    self.query.window,
+                    self.mode,
+                )?;
+                Box::new(SingleThreadBackend::new(
+                    Executor::new(plan, self.exec_config.clone()),
+                    self.mode.label(),
+                ))
+            }
+            Some(config) => {
+                let runtime = ShardedRuntime::new(config.clone()).with_partitioner(
+                    ShardPartitioner::new(config.shards).with_key_column(self.key_column),
+                );
+                let session = runtime.start(self.exec_config.clone(), |_shard| {
+                    build_tree_plan(
+                        &self.query.shape,
+                        &self.query.predicates,
+                        self.query.window,
+                        self.mode,
+                    )
+                })?;
+                Box::new(ShardedBackend::new(session, self.mode.label()))
+            }
+        };
+        Ok(Session::new(backend))
+    }
+
+    /// One-shot convenience: open a session, replay `trace`, finish.
+    pub fn run_trace(&self, trace: &Trace) -> Result<EngineOutcome, EngineError> {
+        let mut session = self.session()?;
+        session.push_trace(trace)?;
+        session.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jit_types::{ColumnRef, EquiPredicate, SourceId};
+
+    fn keyed_predicates(n: usize) -> PredicateSet {
+        PredicateSet::from_predicates(
+            (1..n)
+                .map(|s| {
+                    EquiPredicate::new(
+                        ColumnRef::new(SourceId(0), 0),
+                        ColumnRef::new(SourceId(s as u16), 0),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn missing_query_is_a_typed_error() {
+        assert!(matches!(
+            Engine::builder().build(),
+            Err(EngineError::MissingQuery)
+        ));
+    }
+
+    #[test]
+    fn illegal_runtime_knobs_are_typed_errors() {
+        let base = Engine::builder().query_shape(
+            PlanShape::left_deep(2),
+            keyed_predicates(2),
+            Window::minutes(1.0),
+        );
+        let zero_shards = base
+            .clone()
+            .sharded(RuntimeConfig {
+                shards: 0,
+                batch_size: 8,
+                channel_capacity: 8,
+            })
+            .build();
+        match zero_shards {
+            Err(EngineError::Config(e)) => assert_eq!(e.field, "shards"),
+            other => panic!("expected Config error, got {other:?}"),
+        }
+        let zero_batch = base
+            .sharded(RuntimeConfig {
+                shards: 2,
+                batch_size: 0,
+                channel_capacity: 8,
+            })
+            .build();
+        assert!(matches!(zero_batch, Err(EngineError::Config(_))));
+    }
+
+    #[test]
+    fn sharded_rejects_non_partitionable_predicates() {
+        let err = Engine::builder()
+            .query_shape(
+                PlanShape::bushy(3),
+                PredicateSet::clique(3),
+                Window::minutes(1.0),
+            )
+            .sharded(RuntimeConfig::with_shards(4))
+            .build();
+        assert!(matches!(err, Err(EngineError::NotPartitionable { .. })));
+    }
+
+    #[test]
+    fn statically_keyed_predicates_shard_without_assumption() {
+        let engine = Engine::builder()
+            .query_shape(
+                PlanShape::left_deep(3),
+                keyed_predicates(3),
+                Window::minutes(1.0),
+            )
+            .sharded(RuntimeConfig::with_shards(4))
+            .build();
+        assert!(engine.is_ok());
+    }
+
+    #[test]
+    fn one_shard_needs_no_partitionability() {
+        let engine = Engine::builder()
+            .query_shape(
+                PlanShape::bushy(3),
+                PredicateSet::clique(3),
+                Window::minutes(1.0),
+            )
+            .sharded(RuntimeConfig::with_shards(1))
+            .build();
+        assert!(engine.unwrap().is_sharded());
+    }
+
+    #[test]
+    fn workload_resets_a_stale_partitionability_assumption() {
+        use jit_stream::WorkloadSpec;
+        let shared = WorkloadSpec::bushy_default()
+            .with_sources(3)
+            .with_shared_key();
+        let clique = WorkloadSpec::bushy_default().with_sources(3);
+        let shape = PlanShape::bushy(3);
+        // A builder that earlier saw a shared-key workload must not carry
+        // the assumption onto a non-shared-key one.
+        let reused = Engine::builder()
+            .workload(&shared, &shape)
+            .workload(&clique, &shape)
+            .sharded(RuntimeConfig::with_shards(4))
+            .build();
+        assert!(matches!(reused, Err(EngineError::NotPartitionable { .. })));
+        // An explicit assertion after workload() still wins.
+        assert!(Engine::builder()
+            .workload(&clique, &shape)
+            .assume_key_partitionable()
+            .sharded(RuntimeConfig::with_shards(4))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn empty_modes_comparison_is_rejected() {
+        let builder = Engine::builder().query_shape(
+            PlanShape::left_deep(2),
+            keyed_predicates(2),
+            Window::minutes(1.0),
+        );
+        assert!(matches!(
+            builder.compare(&Trace::empty(), &[]),
+            Err(EngineError::EmptyModes)
+        ));
+    }
+}

@@ -1,0 +1,62 @@
+//! # jit-engine
+//!
+//! The unified, push-based entry point of the workspace: one
+//! [`EngineBuilder`] → [`Engine`] → [`Session`] pipeline serving both the
+//! paper's single-threaded cascade executor and the sharded multi-core
+//! runtime behind a single trait-level seam ([`Backend`]).
+//!
+//! The JIT mechanism is inherently *online* — MNS detection, feedback and
+//! blacklists react tuple by tuple — so the API is too:
+//!
+//! ```
+//! use jit_core::policy::{ExecutionMode, JitPolicy};
+//! use jit_engine::Engine;
+//! use jit_stream::{WorkloadGenerator, WorkloadSpec};
+//! use jit_plan::shapes::PlanShape;
+//!
+//! let spec = WorkloadSpec::bushy_default()
+//!     .with_sources(3)
+//!     .with_duration(jit_types::Duration::from_secs(60));
+//! let engine = Engine::builder()
+//!     .workload(&spec, &PlanShape::left_deep(3))
+//!     .mode(ExecutionMode::Jit(JitPolicy::full()))
+//!     .build()
+//!     .unwrap();
+//! let mut session = engine.session().unwrap();
+//! for event in WorkloadGenerator::generate(&spec).iter() {
+//!     session.push_event(event.clone()).unwrap();
+//! }
+//! let outcome = session.finish().unwrap();
+//! assert_eq!(outcome.mode_label, "JIT");
+//! ```
+//!
+//! Switching the same program onto every core is one builder call —
+//! `.sharded(RuntimeConfig::with_shards(8))` — and the builder *rejects*
+//! workloads the hash partitioner cannot shard losslessly with a typed
+//! [`EngineError::NotPartitionable`] instead of silently losing results
+//! (see [`partition`]).
+//!
+//! * [`builder`] — [`EngineBuilder`] (typed, defaulted configuration) and
+//!   the reusable [`Engine`].
+//! * [`session`] — the live push/poll/finish [`Session`].
+//! * [`backend`] — the [`Backend`] seam and its two implementations.
+//! * [`partition`] — static key-partitionability analysis.
+//! * [`query`] — CQL-or-shape query specification and validation.
+//! * [`error`] — the typed [`EngineError`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod backend;
+pub mod builder;
+pub mod error;
+pub mod partition;
+pub mod query;
+pub mod session;
+
+pub use backend::{Backend, EngineOutcome, ShardedBackend, SingleThreadBackend};
+pub use builder::{Engine, EngineBuilder};
+pub use error::EngineError;
+pub use partition::check_key_partitionable;
+pub use query::{QuerySpec, ResolvedQuery};
+pub use session::Session;

@@ -1,0 +1,111 @@
+//! Live push-based query sessions.
+
+use crate::backend::{Backend, EngineOutcome};
+use crate::error::EngineError;
+use jit_metrics::MetricsSnapshot;
+use jit_stream::arrival::ArrivalEvent;
+use jit_stream::Trace;
+use jit_types::{BaseTuple, SourceId, Timestamp, Tuple};
+use std::sync::Arc;
+
+/// A live execution of one engine's query.
+///
+/// Data goes in tuple by tuple ([`Session::push`] /
+/// [`Session::push_batch`]); results and metrics come out incrementally
+/// ([`Session::poll_results`], [`Session::metrics_snapshot`]); and
+/// [`Session::finish`] closes the stream with the end-of-stream flush
+/// semantics of PR 1 (suppressed production is drained to quiescence before
+/// the outcome is final).
+///
+/// The session enforces the paper's arrival contract: tuples must be pushed
+/// in non-decreasing timestamp order, and a violation is a typed
+/// [`EngineError::OutOfOrder`] instead of a downstream debug assertion.
+pub struct Session {
+    backend: Box<dyn Backend>,
+    last_push_ts: Timestamp,
+    pushed: u64,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("pushed", &self.pushed)
+            .field("last_push_ts", &self.last_push_ts)
+            .finish()
+    }
+}
+
+impl Session {
+    /// Wrap a backend (done by [`crate::Engine::session`]).
+    pub(crate) fn new(backend: Box<dyn Backend>) -> Self {
+        Session {
+            backend,
+            last_push_ts: Timestamp::ZERO,
+            pushed: 0,
+        }
+    }
+
+    /// Push one base tuple arriving on `source`.
+    ///
+    /// On the sharded backend a full ingestion channel blocks the call —
+    /// backpressure, never unbounded queueing.
+    pub fn push(&mut self, source: SourceId, tuple: Arc<BaseTuple>) -> Result<(), EngineError> {
+        if tuple.ts < self.last_push_ts {
+            return Err(EngineError::OutOfOrder {
+                pushed: tuple.ts,
+                last: self.last_push_ts,
+            });
+        }
+        self.last_push_ts = tuple.ts;
+        self.pushed += 1;
+        self.backend.push(source, tuple);
+        Ok(())
+    }
+
+    /// Push one arrival event.
+    pub fn push_event(&mut self, event: ArrivalEvent) -> Result<(), EngineError> {
+        self.push(event.source, event.tuple)
+    }
+
+    /// Push a sequence of arrivals (in timestamp order).
+    pub fn push_batch(
+        &mut self,
+        events: impl IntoIterator<Item = ArrivalEvent>,
+    ) -> Result<(), EngineError> {
+        for event in events {
+            self.push_event(event)?;
+        }
+        Ok(())
+    }
+
+    /// Replay a whole pre-generated trace.
+    pub fn push_trace(&mut self, trace: &Trace) -> Result<(), EngineError> {
+        self.push_batch(trace.iter().cloned())
+    }
+
+    /// Number of tuples pushed so far.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Drain the results that are ready: everything emitted since the last
+    /// poll (single-threaded), or everything complete up to the cross-shard
+    /// watermark (sharded). Polled results are excluded from the final
+    /// outcome — nothing is ever delivered twice.
+    pub fn poll_results(&mut self) -> Vec<Tuple> {
+        self.backend.poll_results()
+    }
+
+    /// A live metrics aggregate (cost, memory, counters) for the work done
+    /// so far.
+    pub fn metrics_snapshot(&mut self) -> MetricsSnapshot {
+        self.backend.metrics_snapshot()
+    }
+
+    /// End the stream: flush suppressed production to quiescence
+    /// (watermark/close semantics), join any workers, and return the
+    /// remaining results plus final metrics.
+    pub fn finish(self) -> Result<EngineOutcome, EngineError> {
+        self.backend.finish()
+    }
+}

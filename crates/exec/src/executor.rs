@@ -251,6 +251,15 @@ impl Executor {
         &self.results
     }
 
+    /// Drain the results collected since the last drain (empty if
+    /// `collect_results` is off). Incremental consumers — push-based
+    /// sessions, the sharded runtime's result streaming — use this to hand
+    /// results onward without holding the whole run in the executor;
+    /// [`Executor::finish`] then returns only what was never drained.
+    pub fn take_results(&mut self) -> Vec<Tuple> {
+        std::mem::take(&mut self.results)
+    }
+
     /// Total number of final results emitted (counted even when collection
     /// is disabled).
     pub fn results_count(&self) -> u64 {

@@ -2,7 +2,7 @@
 //!
 //! This is the baseline the paper compares JIT against: the classic
 //! purge–probe–insert routine for sliding-window joins (Kang et al.,
-//! reference [16]), evaluated with a nested loop over the opposite operator
+//! reference \[16\]), evaluated with a nested loop over the opposite operator
 //! state, storing every generated intermediate result. It never sends or
 //! reacts to feedback.
 

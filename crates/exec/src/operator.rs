@@ -137,7 +137,11 @@ impl<'a> OpContext<'a> {
 /// Implementations must be deterministic: the same sequence of `process` and
 /// `handle_feedback` calls must yield the same outputs, so REF/JIT
 /// comparisons and property tests are reproducible.
-pub trait Operator {
+///
+/// `Send` is a supertrait so that a fully built [`crate::plan::ExecutablePlan`]
+/// can be moved onto a worker thread — the sharded runtime builds every
+/// shard's plan on the caller's thread and ships each one to its shard.
+pub trait Operator: Send {
     /// Human-readable name, e.g. `"A⋈B"`.
     fn name(&self) -> &str;
 

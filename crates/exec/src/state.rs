@@ -3,7 +3,7 @@
 //! An operator state (the rectangles `S_A`, `S_B`, `S_AB`, … of Figure 1b)
 //! holds the tuples that arrived on one input in the past and are still
 //! alive under the window. The state supports the three steps of the
-//! purge–probe–insert routine of window joins (Kang et al., reference [16]
+//! purge–probe–insert routine of window joins (Kang et al., reference \[16\]
 //! in the paper) plus the operations the JIT machinery needs: draining
 //! selected tuples into a blacklist and appending resumed tuples.
 

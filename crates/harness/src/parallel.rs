@@ -1,23 +1,33 @@
-//! Parallel experiment entry point: workload → sharded runtime → outcome.
+//! Parallel experiment entry point: workload → sharded engine → outcome.
 //!
-//! [`run_parallel`] is the multi-core sibling of
-//! `jit_plan::runtime::QueryRuntime::run`: it generates (or accepts) a
-//! trace, hash-partitions it over the configured number of shards, builds
-//! one plan instance per shard and executes them concurrently through
-//! `jit_runtime::ShardedRuntime`, returning merged results and aggregated
-//! metrics.
+//! Legacy shims. [`run_parallel`] and [`run_parallel_trace`] predate the
+//! unified engine API and survive as thin wrappers over
+//! `jit_engine::Engine` with a `.sharded(...)` backend — prefer building
+//! the engine directly:
+//!
+//! ```ignore
+//! let outcome = Engine::builder()
+//!     .workload(&spec, &shape)
+//!     .mode(mode)
+//!     .sharded(RuntimeConfig::with_shards(8))
+//!     .build()?
+//!     .run_trace(&trace)?;
+//! ```
 //!
 //! Correctness requires a *key-partitionable* workload — use
 //! [`parallel_workload`] (or `WorkloadSpec::with_shared_key`) so that every
-//! join predicate reduces to key equality and sharding is lossless. The
-//! shard-determinism integration tests assert set-equality against the
-//! single-threaded executor for shard counts 1, 2 and 4.
+//! join predicate reduces to key equality and sharding is lossless. Unlike
+//! the pre-engine entry points, a workload that is neither shared-key nor
+//! statically partitionable is now rejected with
+//! [`jit_engine::EngineError::NotPartitionable`] instead of silently losing
+//! results. The shard-determinism integration tests assert set-equality
+//! against the single-threaded executor for shard counts 1, 2 and 4.
 
 use jit_core::policy::ExecutionMode;
+use jit_engine::{Engine, EngineError};
 use jit_exec::executor::ExecutorConfig;
-use jit_plan::builder::build_tree_plan;
 use jit_plan::shapes::PlanShape;
-use jit_runtime::{ParallelOutcome, RuntimeConfig, RuntimeError, ShardedRuntime};
+use jit_runtime::{ParallelOutcome, RuntimeConfig};
 use jit_stream::{Trace, WorkloadGenerator, WorkloadSpec};
 
 /// A Table-III-style workload that is safe to shard: shared-key mode on,
@@ -38,7 +48,7 @@ pub fn run_parallel(
     mode: ExecutionMode,
     exec_config: ExecutorConfig,
     runtime_config: RuntimeConfig,
-) -> Result<ParallelOutcome, RuntimeError> {
+) -> Result<ParallelOutcome, EngineError> {
     let trace = WorkloadGenerator::generate(spec);
     run_parallel_trace(&trace, spec, shape, mode, exec_config, runtime_config)
 }
@@ -46,7 +56,7 @@ pub fn run_parallel(
 /// Execute a pre-generated trace across shards (so different shard counts
 /// and modes see identical input).
 ///
-/// Each shard's thread builds its own instance of the plan described by
+/// Each shard's worker owns its own instance of the plan described by
 /// `shape` + `spec` under `mode` — operators are stateful, so instances are
 /// never shared.
 pub fn run_parallel_trace(
@@ -56,12 +66,20 @@ pub fn run_parallel_trace(
     mode: ExecutionMode,
     exec_config: ExecutorConfig,
     runtime_config: RuntimeConfig,
-) -> Result<ParallelOutcome, RuntimeError> {
-    let predicates = spec.predicates();
-    let window = spec.window();
-    let runtime = ShardedRuntime::new(runtime_config);
-    runtime.run(trace, exec_config, |_shard| {
-        build_tree_plan(shape, &predicates, window, mode)
+) -> Result<ParallelOutcome, EngineError> {
+    let outcome = Engine::builder()
+        .workload(spec, shape)
+        .mode(mode)
+        .executor_config(exec_config)
+        .sharded(runtime_config)
+        .build()?
+        .run_trace(trace)?;
+    Ok(ParallelOutcome {
+        results: outcome.results,
+        results_count: outcome.results_count,
+        order_violations: outcome.order_violations,
+        snapshot: outcome.snapshot,
+        per_shard: outcome.per_shard,
     })
 }
 
@@ -125,5 +143,21 @@ mod tests {
         .unwrap();
         assert_eq!(outcome.per_shard.len(), 2);
         assert!(outcome.snapshot.stats.tuples_arrived > 0);
+    }
+
+    #[test]
+    fn non_partitionable_workload_is_rejected_not_silently_wrong() {
+        // No shared key: the clique predicates cannot be hash-sharded.
+        let spec = WorkloadSpec::bushy_default()
+            .with_sources(3)
+            .with_duration(Duration::from_secs(30));
+        let result = run_parallel(
+            &spec,
+            &PlanShape::bushy(3),
+            ExecutionMode::Ref,
+            ExecutorConfig::default(),
+            RuntimeConfig::with_shards(2),
+        );
+        assert!(matches!(result, Err(EngineError::NotPartitionable { .. })));
     }
 }

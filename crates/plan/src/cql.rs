@@ -172,6 +172,13 @@ fn split_case_insensitive(text: &str, sep: &str) -> Vec<String> {
     parts
 }
 
+/// Source and column names: non-empty, alphanumeric/underscore only. This
+/// is what turns "dangling" keywords into errors — `WHERE A.x = B.x AND`
+/// would otherwise be read as a join against the column `"x AND"`.
+fn valid_ident(name: &str) -> bool {
+    !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
 fn parse_from(text: &str) -> Result<Vec<(String, Duration)>, CqlError> {
     let mut sources = Vec::new();
     for entry in text.split(',') {
@@ -183,13 +190,22 @@ fn parse_from(text: &str) -> Result<Vec<(String, Duration)>, CqlError> {
             Some(idx) => {
                 let name = entry[..idx].trim().to_string();
                 let close = entry.find(']').ok_or_else(|| err("missing ] in window"))?;
+                if !entry[close + 1..].trim().is_empty() {
+                    return Err(err(format!("unexpected text after window in {entry:?}")));
+                }
                 let range = parse_range(entry[idx + 1..close].trim())?;
                 (name, range)
             }
             None => (entry.to_string(), Duration::ZERO),
         };
-        if name.is_empty() {
-            return Err(err("empty source name"));
+        if !valid_ident(&name) {
+            return Err(err(format!("invalid source name {name:?}")));
+        }
+        // Duplicate names would silently re-bind every predicate mention to
+        // the first declaration (name resolution is first-match), leaving
+        // the second source unconstrained — a cross product, not a join.
+        if sources.iter().any(|(n, _)| n == &name) {
+            return Err(err(format!("duplicate source {name} in FROM clause")));
         }
         sources.push((name, range));
     }
@@ -223,7 +239,7 @@ fn parse_column(text: &str) -> Result<(String, String), CqlError> {
     let mut parts = text.trim().split('.');
     let source = parts.next().unwrap_or("").trim();
     let column = parts.next().unwrap_or("").trim();
-    if source.is_empty() || column.is_empty() || parts.next().is_some() {
+    if !valid_ident(source) || !valid_ident(column) || parts.next().is_some() {
         return Err(err(format!("expected source.column, got {text}")));
     }
     Ok((source.to_string(), column.to_string()))
@@ -336,7 +352,67 @@ mod tests {
     #[test]
     fn unknown_source_in_predicate_fails_resolution() {
         let q = parse_cql("SELECT * FROM A [RANGE 1 minutes] WHERE A.x = Z.x").unwrap();
-        assert!(q.predicates().is_err());
+        let e = q.predicates().unwrap_err();
+        assert!(e.to_string().contains("unknown source Z"), "{e}");
+        // The same applies to a filter referencing an undeclared source.
+        let q = parse_cql("SELECT * FROM A [RANGE 1 minutes] WHERE Z.x > 5").unwrap();
+        assert!(q.filter_predicates().is_err());
+    }
+
+    #[test]
+    fn bad_range_units_are_rejected() {
+        for query in [
+            "SELECT * FROM A [RANGE 5 fortnights]",
+            "SELECT * FROM A [RANGE 5] invalid", // trailing junk after the window
+            "SELECT * FROM A [RANGE]",
+            "SELECT * FROM A [5 minutes]",
+            "SELECT * FROM A [RANGE 5 minutes", // unclosed window
+            "SELECT * FROM A [RANGE minutes 5]",
+        ] {
+            assert!(parse_cql(query).is_err(), "accepted: {query}");
+        }
+        // Default unit (seconds) and every supported unit still parse.
+        assert!(parse_cql("SELECT * FROM A [RANGE 5]").is_ok());
+        for unit in ["milliseconds", "seconds", "minutes", "hours", "MIN", "sec"] {
+            assert!(
+                parse_cql(&format!("SELECT * FROM A [RANGE 5 {unit}]")).is_ok(),
+                "rejected unit {unit}"
+            );
+        }
+    }
+
+    #[test]
+    fn dangling_and_is_rejected() {
+        // A trailing AND must not be silently glued into a column name.
+        for query in [
+            "SELECT * FROM A [RANGE 1 minutes], B [RANGE 1 minutes] WHERE A.x = B.x AND",
+            "SELECT * FROM A [RANGE 1 minutes], B [RANGE 1 minutes] WHERE A.x = B.x AND ",
+            "SELECT * FROM A [RANGE 1 minutes], B [RANGE 1 minutes] WHERE AND A.x = B.x",
+            "SELECT * FROM A [RANGE 1 minutes], B [RANGE 1 minutes] WHERE A.x = B.x AND AND B.x = A.x",
+        ] {
+            assert!(parse_cql(query).is_err(), "accepted: {query}");
+        }
+    }
+
+    #[test]
+    fn duplicate_sources_are_rejected() {
+        let e = parse_cql("SELECT * FROM A [RANGE 1 minutes], A [RANGE 1 minutes] WHERE A.x = A.x")
+            .unwrap_err();
+        assert!(e.to_string().contains("duplicate source A"), "{e}");
+    }
+
+    #[test]
+    fn malformed_identifiers_are_rejected() {
+        // Missing comma between sources: "A B" is not a source name.
+        assert!(parse_cql("SELECT * FROM A [RANGE 1 minutes] B [RANGE 1 minutes]").is_err());
+        // Underscored and numbered identifiers are legal.
+        let q = parse_cql(
+            "SELECT * FROM sensor_1 [RANGE 1 minutes], sensor_2 [RANGE 1 minutes] \
+             WHERE sensor_1.zone_id = sensor_2.zone_id",
+        )
+        .unwrap();
+        assert_eq!(q.sources[0].0, "sensor_1");
+        assert_eq!(q.equi_joins.len(), 1);
     }
 
     #[test]

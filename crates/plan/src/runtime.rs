@@ -24,7 +24,14 @@ pub struct RunOutcome {
     pub snapshot: MetricsSnapshot,
 }
 
-/// Convenience driver shared by examples, tests, the harness and the benches.
+/// The original one-shot batch driver, kept as the *legacy* entry point.
+///
+/// New code should prefer `jit_engine::Engine`, the push-based API that
+/// serves the same plans through either the single-threaded executor or the
+/// sharded runtime by configuration alone. `QueryRuntime` survives
+/// deliberately un-rebased: it drives the `Executor` directly, which makes
+/// it the independent oracle the cross-backend equivalence tests compare
+/// the engine against.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct QueryRuntime;
 

@@ -1,5 +1,35 @@
 //! Runtime configuration knobs.
 
+use std::fmt;
+
+/// A runtime configuration knob set to an illegal value.
+///
+/// Produced by [`RuntimeConfig::validate`]; the engine layer surfaces this
+/// as a typed build-time error instead of silently clamping (which
+/// [`RuntimeConfig::normalized`] still does for callers that prefer it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Name of the offending knob (`"shards"`, `"batch_size"`,
+    /// `"channel_capacity"`).
+    pub field: &'static str,
+    /// The rejected value.
+    pub value: usize,
+    /// The smallest legal value.
+    pub min: usize,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "runtime config: `{}` must be >= {} (got {})",
+            self.field, self.min, self.value
+        )
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Configuration of the sharded parallel runtime.
 ///
 /// * `shards` — number of independent executors (one OS thread each). The
@@ -59,6 +89,25 @@ impl RuntimeConfig {
         self.batch_size = self.batch_size.max(1);
         self.channel_capacity = self.channel_capacity.max(1);
         self
+    }
+
+    /// Check every knob, returning a typed error naming the first illegal
+    /// one (every knob must be ≥ 1) instead of clamping it.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let check = |field: &'static str, value: usize| {
+            if value < 1 {
+                Err(ConfigError {
+                    field,
+                    value,
+                    min: 1,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        check("shards", self.shards)?;
+        check("batch_size", self.batch_size)?;
+        check("channel_capacity", self.channel_capacity)
     }
 }
 

@@ -32,9 +32,11 @@
 
 pub mod config;
 pub mod merge;
+pub mod session;
 pub mod sharded;
 
-pub use config::RuntimeConfig;
+pub use config::{ConfigError, RuntimeConfig};
 pub use jit_stream::ShardPartitioner;
 pub use merge::merge_by_timestamp;
+pub use session::ShardedSession;
 pub use sharded::{ParallelOutcome, RuntimeError, ShardOutcome, ShardedRuntime};

@@ -1,0 +1,507 @@
+//! Push-based sharded execution: long-lived worker threads fed one arrival
+//! at a time.
+//!
+//! [`ShardedSession`] is the online counterpart of the one-shot
+//! [`ShardedRuntime::run`]: the workers are spawned up front (each with its
+//! own plan instance, built on the caller's thread and *moved* to the
+//! worker), and the caller then pushes arrivals incrementally. Ingestion
+//! keeps the PR-1 batching/backpressure semantics — arrivals are grouped
+//! into `batch_size` batches per shard and sent over a *bounded* channel, so
+//! a slow shard blocks the pusher instead of queueing unboundedly.
+//!
+//! Two things flow back while the session runs:
+//!
+//! * **Results.** After every batch a worker drains its executor's collected
+//!   results and ships them to the session. [`ShardedSession::poll_results`]
+//!   releases them in globally merged timestamp order under a *watermark*:
+//!   a result is released only once every shard is known to have processed
+//!   past its timestamp, so the concatenation of all polls (plus the final
+//!   outcome) replays exactly the k-way merge a one-shot run would produce.
+//!   How many results each individual poll returns depends on worker timing;
+//!   the order and the overall set do not.
+//! * **Metrics.** Each batch also carries a point-in-time
+//!   [`MetricsSnapshot`]; [`ShardedSession::metrics_snapshot`] aggregates
+//!   the latest one per shard, giving a live view of cost and memory.
+//!
+//! [`ShardedSession::finish`] flushes pending batches, closes the channels
+//! (each worker then runs the end-of-stream flush of `Executor::finish`),
+//! joins the workers and returns the same [`ParallelOutcome`] as the
+//! one-shot path — minus any results already handed out through
+//! `poll_results`, which are never duplicated.
+
+use crate::merge::merge_by_timestamp;
+use crate::sharded::{panic_message, ParallelOutcome, RuntimeError, ShardOutcome, ShardedRuntime};
+use jit_exec::executor::{Executor, ExecutorConfig};
+use jit_exec::plan::{ExecutablePlan, PlanError};
+use jit_metrics::MetricsSnapshot;
+use jit_stream::arrival::ArrivalEvent;
+use jit_stream::{ShardPartitioner, Trace};
+use jit_types::{Timestamp, Tuple};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+/// What a worker reports back after ingesting one batch.
+struct ShardChunk {
+    shard: usize,
+    /// Results collected at this shard's sink since the previous chunk.
+    results: Vec<Tuple>,
+    /// The shard has processed every arrival up to (and including) this
+    /// application time.
+    processed_through: Timestamp,
+    /// Point-in-time metrics of the shard's executor.
+    snapshot: MetricsSnapshot,
+}
+
+impl ShardedRuntime {
+    /// Spawn the shard workers and return a push-based [`ShardedSession`].
+    ///
+    /// `plan_factory` is called once per shard *on the calling thread* (plan
+    /// errors surface here, before any thread exists); each fresh plan
+    /// instance is then moved onto its worker thread — operators are
+    /// stateful, so shards never share one.
+    pub fn start<F>(
+        &self,
+        exec_config: ExecutorConfig,
+        mut plan_factory: F,
+    ) -> Result<ShardedSession, RuntimeError>
+    where
+        F: FnMut(usize) -> Result<ExecutablePlan, PlanError>,
+    {
+        let shards = self.config().shards;
+        let mut plans = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            plans.push(plan_factory(shard)?);
+        }
+        let (chunk_tx, chunk_rx) = mpsc::channel::<ShardChunk>();
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for (shard, plan) in plans.into_iter().enumerate() {
+            let (tx, rx) = mpsc::sync_channel::<Vec<ArrivalEvent>>(self.config().channel_capacity);
+            let chunk_tx = chunk_tx.clone();
+            let exec_config = exec_config.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("jit-shard-{shard}"))
+                .spawn(move || {
+                    let mut executor = Executor::new(plan, exec_config);
+                    let mut arrivals = 0u64;
+                    while let Ok(batch) = rx.recv() {
+                        arrivals += batch.len() as u64;
+                        for event in batch {
+                            executor.ingest(event.source, event.tuple);
+                        }
+                        // One chunk per batch: progress for the watermark,
+                        // drained results, and a point-in-time snapshot.
+                        // The snapshot is a handful of scalar reads —
+                        // measured noise next to ingesting a batch — and
+                        // the channel holds at most one small chunk header
+                        // per batch beyond the results the executor would
+                        // otherwise have buffered itself. A send error
+                        // means the session stopped listening; results
+                        // still reach it through the join below.
+                        let _ = chunk_tx.send(ShardChunk {
+                            shard,
+                            results: executor.take_results(),
+                            processed_through: executor.current_time(),
+                            snapshot: executor.metrics().snapshot(),
+                        });
+                    }
+                    let results_count = executor.results_count();
+                    let order_violations = executor.order_violations();
+                    let (results, snapshot) = executor.finish();
+                    ShardOutcome {
+                        shard,
+                        arrivals,
+                        results,
+                        results_count,
+                        order_violations,
+                        snapshot,
+                    }
+                })
+                .expect("spawning a shard worker thread");
+            senders.push(Some(tx));
+            workers.push(Some(handle));
+        }
+        drop(chunk_tx); // the receiver disconnects once every worker exits
+        Ok(ShardedSession {
+            partitioner: self.partitioner().clone(),
+            batch_size: self.config().batch_size,
+            senders,
+            pending: vec![Vec::new(); shards],
+            chunks: chunk_rx,
+            workers,
+            buffered: vec![VecDeque::new(); shards],
+            progress: vec![Timestamp::ZERO; shards],
+            batches_sent: vec![0; shards],
+            chunks_seen: vec![0; shards],
+            latest: vec![MetricsSnapshot::zero(); shards],
+            last_push_ts: Timestamp::ZERO,
+        })
+    }
+}
+
+/// A live sharded execution accepting arrivals one at a time.
+///
+/// Created by [`ShardedRuntime::start`]; see the module docs for the
+/// streaming-result and watermark semantics.
+pub struct ShardedSession {
+    partitioner: ShardPartitioner,
+    batch_size: usize,
+    senders: Vec<Option<mpsc::SyncSender<Vec<ArrivalEvent>>>>,
+    pending: Vec<Vec<ArrivalEvent>>,
+    chunks: mpsc::Receiver<ShardChunk>,
+    workers: Vec<Option<JoinHandle<ShardOutcome>>>,
+    /// Results received from each shard but not yet released by a poll.
+    buffered: Vec<VecDeque<Tuple>>,
+    /// Application time each shard has confirmed processing through.
+    progress: Vec<Timestamp>,
+    batches_sent: Vec<u64>,
+    chunks_seen: Vec<u64>,
+    /// Most recent point-in-time snapshot per shard.
+    latest: Vec<MetricsSnapshot>,
+    last_push_ts: Timestamp,
+}
+
+impl std::fmt::Debug for ShardedSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSession")
+            .field("shards", &self.workers.len())
+            .field("batch_size", &self.batch_size)
+            .field("last_push_ts", &self.last_push_ts)
+            .finish()
+    }
+}
+
+impl ShardedSession {
+    /// Number of shard workers.
+    pub fn num_shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Route one arrival to its shard.
+    ///
+    /// Arrivals must be pushed in non-decreasing timestamp order (the same
+    /// contract as `Executor::ingest`). The send blocks when the shard's
+    /// bounded channel is full — backpressure, exactly as in the one-shot
+    /// feeder loop.
+    pub fn push(&mut self, event: ArrivalEvent) {
+        self.last_push_ts = self.last_push_ts.max(event.ts);
+        let shard = self.partitioner.shard_of(&event.tuple);
+        self.pending[shard].push(event);
+        if self.pending[shard].len() >= self.batch_size {
+            self.dispatch(shard);
+        }
+    }
+
+    /// Push a sequence of arrivals (in timestamp order).
+    pub fn push_batch(&mut self, events: impl IntoIterator<Item = ArrivalEvent>) {
+        for event in events {
+            self.push(event);
+        }
+    }
+
+    /// Replay a whole trace through the session.
+    pub fn push_trace(&mut self, trace: &Trace) {
+        self.push_batch(trace.iter().cloned());
+    }
+
+    /// Send shard `shard`'s pending batch. A send failure means the worker
+    /// died early (it panicked); the panic surfaces at [`Self::finish`].
+    fn dispatch(&mut self, shard: usize) {
+        let batch = std::mem::take(&mut self.pending[shard]);
+        if batch.is_empty() {
+            return;
+        }
+        if let Some(tx) = &self.senders[shard] {
+            if tx.send(batch).is_err() {
+                self.senders[shard] = None;
+            } else {
+                self.batches_sent[shard] += 1;
+            }
+        }
+    }
+
+    /// Absorb every chunk the workers have reported so far.
+    fn drain_chunks(&mut self) {
+        while let Ok(chunk) = self.chunks.try_recv() {
+            self.buffered[chunk.shard].extend(chunk.results);
+            self.progress[chunk.shard] = self.progress[chunk.shard].max(chunk.processed_through);
+            self.latest[chunk.shard] = chunk.snapshot;
+            self.chunks_seen[chunk.shard] += 1;
+        }
+    }
+
+    /// The timestamp below which every shard's output is complete. A shard
+    /// that is fully caught up (no pending batch, every sent batch acked)
+    /// is credited with the session-wide push time: any arrival it receives
+    /// later must carry a larger timestamp, so it can no longer produce an
+    /// earlier result (JIT's documented late re-emissions excepted — those
+    /// pass through a poll exactly as they pass through the k-way merge).
+    fn watermark(&self) -> Timestamp {
+        let mut watermark = None::<Timestamp>;
+        for shard in 0..self.workers.len() {
+            let caught_up = self.pending[shard].is_empty()
+                && self.batches_sent[shard] == self.chunks_seen[shard];
+            let progress = if caught_up {
+                self.progress[shard].max(self.last_push_ts)
+            } else {
+                self.progress[shard]
+            };
+            watermark = Some(watermark.map_or(progress, |w| w.min(progress)));
+        }
+        watermark.unwrap_or(Timestamp::ZERO)
+    }
+
+    /// Release every result that is safe to emit in global timestamp order.
+    ///
+    /// Returns the newly released results (empty when `collect_results` is
+    /// off or nothing has been confirmed past the watermark yet). Across the
+    /// lifetime of the session, the concatenation of all polls followed by
+    /// the final outcome's results is the same merged stream a one-shot
+    /// [`ShardedRuntime::run`] produces.
+    ///
+    /// Release is *strictly below* the watermark: pushes at exactly the
+    /// watermark timestamp are still legal (the contract is non-decreasing,
+    /// not increasing), and releasing a tied result early would invert the
+    /// merge's deterministic (timestamp, shard) tie-break against a
+    /// same-timestamp result a lower shard produces later. Tied results
+    /// are released together once the watermark moves past them (or by
+    /// [`Self::finish`]).
+    pub fn poll_results(&mut self) -> Vec<Tuple> {
+        self.drain_chunks();
+        let watermark = self.watermark();
+        let mut released = Vec::new();
+        loop {
+            // Smallest (front timestamp, shard) among the shard buffers —
+            // the same tie-break as `merge_by_timestamp`.
+            let next = self
+                .buffered
+                .iter()
+                .enumerate()
+                .filter_map(|(shard, buf)| buf.front().map(|t| (t.ts(), shard)))
+                .min();
+            match next {
+                Some((ts, shard)) if ts < watermark => {
+                    released.push(self.buffered[shard].pop_front().expect("front exists"));
+                }
+                _ => break,
+            }
+        }
+        released
+    }
+
+    /// A live aggregate of the workers' most recently reported metrics
+    /// (counters and cost summed, wall-clock maxed, memory summed — the
+    /// same rules as the final [`ParallelOutcome::snapshot`]). Shards that
+    /// have not completed a batch yet contribute zeros.
+    pub fn metrics_snapshot(&mut self) -> MetricsSnapshot {
+        self.drain_chunks();
+        MetricsSnapshot::aggregate_parallel(self.latest.iter())
+    }
+
+    /// Close the session: flush pending batches, end every shard's stream
+    /// (which triggers the executor's end-of-stream flush), join the
+    /// workers, and merge what remains.
+    ///
+    /// The returned outcome's `results` (and each `per_shard` stream)
+    /// exclude anything already handed out by [`Self::poll_results`]; no
+    /// result is ever delivered twice. Counters (`results_count`,
+    /// `order_violations`, metrics) always cover the whole run.
+    pub fn finish(mut self) -> Result<ParallelOutcome, RuntimeError> {
+        for shard in 0..self.workers.len() {
+            self.dispatch(shard);
+        }
+        self.senders.clear(); // close every channel: workers drain and exit
+        let joined: Vec<Result<ShardOutcome, RuntimeError>> = self
+            .workers
+            .iter_mut()
+            .enumerate()
+            .map(|(shard, handle)| {
+                handle
+                    .take()
+                    .expect("worker joined once")
+                    .join()
+                    .map_err(|payload| RuntimeError::ShardPanicked {
+                        shard,
+                        message: panic_message(payload.as_ref()),
+                    })
+            })
+            .collect();
+        // Workers have exited, so the chunk channel holds everything ever
+        // sent; absorb it before assembling the per-shard streams.
+        self.drain_chunks();
+        let mut per_shard = Vec::with_capacity(joined.len());
+        for outcome in joined {
+            per_shard.push(outcome?);
+        }
+        for outcome in per_shard.iter_mut() {
+            // Un-polled streamed results come first (ingest order), then the
+            // executor's end-of-stream flush output.
+            let mut stream: Vec<Tuple> = std::mem::take(&mut self.buffered[outcome.shard]).into();
+            stream.append(&mut outcome.results);
+            outcome.results = stream;
+        }
+        let snapshot = MetricsSnapshot::aggregate_parallel(per_shard.iter().map(|s| &s.snapshot));
+        let results_count = per_shard.iter().map(|s| s.results_count).sum();
+        let order_violations = per_shard.iter().map(|s| s.order_violations).sum();
+        let streams: Vec<Vec<Tuple>> = per_shard
+            .iter_mut()
+            .map(|s| std::mem::take(&mut s.results))
+            .collect();
+        let results = merge_by_timestamp(&streams);
+        for (shard, stream) in per_shard.iter_mut().zip(streams) {
+            shard.results = stream;
+        }
+        Ok(ParallelOutcome {
+            results,
+            results_count,
+            order_violations,
+            snapshot,
+            per_shard,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuntimeConfig;
+    use jit_exec::operator::{DataMessage, OpContext, Operator, OperatorOutput, Port};
+    use jit_exec::plan::{Input, PlanBuilder};
+    use jit_types::{BaseTuple, SourceId, SourceSet, Value};
+    use std::sync::Arc;
+
+    struct Forward;
+
+    impl Operator for Forward {
+        fn name(&self) -> &str {
+            "forward"
+        }
+        fn output_schema(&self) -> SourceSet {
+            SourceSet::first_n(1)
+        }
+        fn num_ports(&self) -> usize {
+            1
+        }
+        fn process(
+            &mut self,
+            _port: Port,
+            msg: &DataMessage,
+            _ctx: &mut OpContext<'_>,
+        ) -> OperatorOutput {
+            OperatorOutput::with_results(vec![msg.clone()])
+        }
+        fn memory_bytes(&self) -> usize {
+            32
+        }
+    }
+
+    fn forward_plan() -> Result<ExecutablePlan, PlanError> {
+        let mut builder = PlanBuilder::new();
+        builder.add_operator(Box::new(Forward), vec![Input::Source(SourceId(0))]);
+        builder.build()
+    }
+
+    fn event(i: u64) -> ArrivalEvent {
+        let ts = Timestamp::from_millis(i * 10);
+        ArrivalEvent {
+            ts,
+            source: SourceId(0),
+            tuple: Arc::new(BaseTuple::new(
+                SourceId(0),
+                i,
+                ts,
+                vec![Value::int(i as i64)],
+            )),
+        }
+    }
+
+    fn session(shards: usize, batch: usize) -> ShardedSession {
+        ShardedRuntime::new(RuntimeConfig::with_shards(shards).with_batch_size(batch))
+            .start(ExecutorConfig::default(), |_| forward_plan())
+            .unwrap()
+    }
+
+    #[test]
+    fn pushed_session_matches_one_shot_run() {
+        let trace = Trace::new((0..300).map(event).collect());
+        let runtime = ShardedRuntime::new(RuntimeConfig::with_shards(3).with_batch_size(16));
+        let one_shot = runtime
+            .run(&trace, ExecutorConfig::default(), |_| forward_plan())
+            .unwrap();
+        let mut live = runtime
+            .start(ExecutorConfig::default(), |_| forward_plan())
+            .unwrap();
+        live.push_trace(&trace);
+        let outcome = live.finish().unwrap();
+        assert_eq!(outcome.results_count, one_shot.results_count);
+        let keys = |r: &[Tuple]| r.iter().map(|t| t.key()).collect::<Vec<_>>();
+        assert_eq!(keys(&outcome.results), keys(&one_shot.results));
+    }
+
+    #[test]
+    fn polls_release_a_prefix_of_the_merged_stream_exactly_once() {
+        let trace = Trace::new((0..400).map(event).collect());
+        let mut live = session(4, 8);
+        let mut polled = Vec::new();
+        for (i, e) in trace.iter().enumerate() {
+            live.push(e.clone());
+            if i % 97 == 0 {
+                polled.extend(live.poll_results());
+            }
+        }
+        let outcome = live.finish().unwrap();
+        polled.extend(outcome.results);
+        assert_eq!(polled.len(), 400);
+        assert!(polled.windows(2).all(|w| w[0].ts() <= w[1].ts()));
+        assert_eq!(outcome.results_count, 400);
+    }
+
+    #[test]
+    fn polled_results_respect_the_watermark_mid_run() {
+        let mut live = session(2, 1);
+        for i in 0..50 {
+            live.push(event(i));
+        }
+        // Give the workers a moment, then poll: anything released must be
+        // globally ordered and complete up to its own horizon.
+        let mut seen = Vec::new();
+        for _ in 0..100 {
+            seen.extend(live.poll_results());
+            if seen.len() >= 50 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let outcome = live.finish().unwrap();
+        seen.extend(outcome.results);
+        assert_eq!(seen.len(), 50);
+        assert!(seen.windows(2).all(|w| w[0].ts() <= w[1].ts()));
+    }
+
+    #[test]
+    fn live_metrics_converge_to_the_final_snapshot() {
+        let mut live = session(2, 4);
+        for i in 0..120 {
+            live.push(event(i));
+        }
+        let mid = live.metrics_snapshot();
+        assert!(mid.stats.tuples_arrived <= 120);
+        let outcome = live.finish().unwrap();
+        assert_eq!(outcome.snapshot.stats.tuples_arrived, 120);
+        assert!(mid.cost_units <= outcome.snapshot.cost_units);
+    }
+
+    #[test]
+    fn plan_error_surfaces_before_any_thread_spawns() {
+        let runtime = ShardedRuntime::new(RuntimeConfig::with_shards(2));
+        let result = runtime.start(ExecutorConfig::default(), |shard| {
+            if shard == 1 {
+                PlanBuilder::new().build()
+            } else {
+                forward_plan()
+            }
+        });
+        assert!(matches!(result, Err(RuntimeError::Plan(_))));
+    }
+}

@@ -1,7 +1,8 @@
 //! The sharded parallel runtime.
 //!
 //! [`ShardedRuntime::run`] hash-partitions a trace's join-key space over `N`
-//! shards, runs one independent [`Executor`] per shard on its own OS thread
+//! shards, runs one independent [`Executor`](jit_exec::executor::Executor)
+//! per shard on its own OS thread
 //! (each with its own instance of the plan, built by a caller-supplied
 //! factory), feeds every shard through a *bounded* MPSC channel in batches
 //! (a full channel blocks the feeder — backpressure instead of unbounded
@@ -23,15 +24,12 @@
 //! the merge exactly as it does on a single executor.
 
 use crate::config::RuntimeConfig;
-use crate::merge::merge_by_timestamp;
-use jit_exec::executor::{Executor, ExecutorConfig};
+use jit_exec::executor::ExecutorConfig;
 use jit_exec::plan::{ExecutablePlan, PlanError};
 use jit_metrics::MetricsSnapshot;
-use jit_stream::arrival::ArrivalEvent;
 use jit_stream::{ShardPartitioner, Trace};
 use jit_types::Tuple;
 use std::fmt;
-use std::sync::mpsc;
 
 /// Why a parallel run failed.
 #[derive(Debug)]
@@ -160,11 +158,13 @@ impl ShardedRuntime {
         &self.partitioner
     }
 
-    /// Execute `trace` across the shards.
+    /// Execute `trace` across the shards: the one-shot convenience over
+    /// [`ShardedRuntime::start`] — spawn a push-based session, replay the
+    /// whole trace through it, and close it.
     ///
-    /// `plan_factory` is called once per shard (with the shard index, from
-    /// that shard's thread) and must build a fresh, independent instance of
-    /// the plan — operators are stateful, so shards cannot share one.
+    /// `plan_factory` is called once per shard (with the shard index, on the
+    /// calling thread) and must build a fresh, independent instance of the
+    /// plan — operators are stateful, so shards cannot share one.
     ///
     /// The calling thread acts as the feeder: it walks the trace in replay
     /// order, assigns each arrival to its shard, and sends batches of
@@ -177,110 +177,15 @@ impl ShardedRuntime {
         plan_factory: F,
     ) -> Result<ParallelOutcome, RuntimeError>
     where
-        F: Fn(usize) -> Result<ExecutablePlan, PlanError> + Sync,
+        F: FnMut(usize) -> Result<ExecutablePlan, PlanError>,
     {
-        let shards = self.config.shards;
-        let factory = &plan_factory;
-        let shard_results: Vec<Result<ShardOutcome, RuntimeError>> = std::thread::scope(|scope| {
-            let mut senders = Vec::with_capacity(shards);
-            let mut handles = Vec::with_capacity(shards);
-            for shard in 0..shards {
-                let (tx, rx) =
-                    mpsc::sync_channel::<Vec<ArrivalEvent>>(self.config.channel_capacity);
-                senders.push(Some(tx));
-                let exec_config = exec_config.clone();
-                handles.push(scope.spawn(move || -> Result<ShardOutcome, PlanError> {
-                    let plan = factory(shard)?;
-                    let mut executor = Executor::new(plan, exec_config);
-                    let mut arrivals = 0u64;
-                    while let Ok(batch) = rx.recv() {
-                        arrivals += batch.len() as u64;
-                        for event in batch {
-                            executor.ingest(event.source, event.tuple);
-                        }
-                    }
-                    let results_count = executor.results_count();
-                    let order_violations = executor.order_violations();
-                    let (results, snapshot) = executor.finish();
-                    Ok(ShardOutcome {
-                        shard,
-                        arrivals,
-                        results,
-                        results_count,
-                        order_violations,
-                        snapshot,
-                    })
-                }));
-            }
-
-            // Feeder: batch arrivals per shard; a failed send means the
-            // shard terminated early (plan error) — stop feeding it.
-            let mut batches: Vec<Vec<ArrivalEvent>> = vec![Vec::new(); shards];
-            for event in trace.iter() {
-                let shard = self.partitioner.shard_of(&event.tuple);
-                let batch = &mut batches[shard];
-                batch.push(event.clone());
-                if batch.len() >= self.config.batch_size {
-                    if let Some(tx) = &senders[shard] {
-                        if tx.send(std::mem::take(batch)).is_err() {
-                            senders[shard] = None;
-                            batch.clear();
-                        }
-                    } else {
-                        batch.clear();
-                    }
-                }
-            }
-            for (shard, batch) in batches.into_iter().enumerate() {
-                if !batch.is_empty() {
-                    if let Some(tx) = &senders[shard] {
-                        let _ = tx.send(batch);
-                    }
-                }
-            }
-            drop(senders); // close every channel: workers drain and finish
-
-            handles
-                .into_iter()
-                .enumerate()
-                .map(|(shard, handle)| match handle.join() {
-                    Ok(result) => result.map_err(RuntimeError::from),
-                    Err(payload) => Err(RuntimeError::ShardPanicked {
-                        shard,
-                        message: panic_message(payload.as_ref()),
-                    }),
-                })
-                .collect()
-        });
-
-        let mut per_shard = Vec::with_capacity(shards);
-        for result in shard_results {
-            per_shard.push(result?);
-        }
-        let snapshot = MetricsSnapshot::aggregate_parallel(per_shard.iter().map(|s| &s.snapshot));
-        let results_count = per_shard.iter().map(|s| s.results_count).sum();
-        let order_violations = per_shard.iter().map(|s| s.order_violations).sum();
-        // Lend the per-shard vectors to the merge (which clones per element
-        // as it interleaves) instead of deep-cloning them up front.
-        let streams: Vec<Vec<Tuple>> = per_shard
-            .iter_mut()
-            .map(|s| std::mem::take(&mut s.results))
-            .collect();
-        let results = merge_by_timestamp(&streams);
-        for (shard, stream) in per_shard.iter_mut().zip(streams) {
-            shard.results = stream;
-        }
-        Ok(ParallelOutcome {
-            results,
-            results_count,
-            order_violations,
-            snapshot,
-            per_shard,
-        })
+        let mut session = self.start(exec_config, plan_factory)?;
+        session.push_trace(trace);
+        session.finish()
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -295,6 +200,7 @@ mod tests {
     use super::*;
     use jit_exec::operator::{DataMessage, OpContext, Operator, OperatorOutput, Port};
     use jit_exec::plan::{Input, PlanBuilder};
+    use jit_stream::arrival::ArrivalEvent;
     use jit_types::{BaseTuple, SourceId, SourceSet, Timestamp, Value};
     use std::sync::Arc;
 

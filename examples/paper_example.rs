@@ -9,15 +9,12 @@
 //! a1 becomes an MNS and Op1 is told to suspend), then b4 and a2 (whose
 //! processing JIT suppresses), and finally c1 with `y = 100`, which resumes
 //! production and yields the seven delayed results.
+//!
+//! The arrivals are *pushed* one at a time through a live engine session —
+//! the JIT mechanism is online, and the session API lets us watch the
+//! suppression and resumption happen between pushes.
 
-use jit_core::policy::JitPolicy;
-use jit_core::JitJoinOperator;
-use jit_exec::executor::{Executor, ExecutorConfig};
-use jit_exec::plan::{Input, PlanBuilder};
-use jit_types::{
-    BaseTuple, ColumnRef, Duration, EquiPredicate, PredicateSet, SourceId, SourceSet, Timestamp,
-    Value, Window,
-};
+use jit_dsms::prelude::*;
 use std::sync::Arc;
 
 fn base(source: u16, seq: u64, ts_s: u64, values: Vec<i64>) -> Arc<BaseTuple> {
@@ -31,6 +28,8 @@ fn base(source: u16, seq: u64, ts_s: u64, values: Vec<i64>) -> Arc<BaseTuple> {
 
 fn main() {
     // Figure 1: A(x, y), B(x), C(y); predicates A.x = B.x and A.y = C.y.
+    // The left-deep shape instantiates exactly the paper's two operators:
+    // Op1 = A⋈B, Op2 = AB⋈C.
     let predicates = PredicateSet::from_predicates(vec![
         EquiPredicate::new(
             ColumnRef::new(SourceId(0), 0),
@@ -41,33 +40,16 @@ fn main() {
             ColumnRef::new(SourceId(2), 0),
         ),
     ]);
-    let window = Window::new(Duration::from_mins(5));
-    let policy = JitPolicy::full();
-
-    let mut builder = PlanBuilder::new();
-    let op1 = builder.add_operator(
-        Box::new(JitJoinOperator::new(
-            "Op1: A⋈B",
-            SourceSet::single(SourceId(0)),
-            SourceSet::single(SourceId(1)),
-            predicates.clone(),
-            window,
-            policy,
-        )),
-        vec![Input::Source(SourceId(0)), Input::Source(SourceId(1))],
-    );
-    let _op2 = builder.add_operator(
-        Box::new(JitJoinOperator::new(
-            "Op2: AB⋈C",
-            SourceSet::first_n(2),
-            SourceSet::single(SourceId(2)),
+    let engine = Engine::builder()
+        .query_shape(
+            PlanShape::left_deep(3),
             predicates,
-            window,
-            policy,
-        )),
-        vec![Input::Operator(op1), Input::Source(SourceId(2))],
-    );
-    let mut executor = Executor::new(builder.build().unwrap(), ExecutorConfig::default());
+            Window::new(Duration::from_mins(5)),
+        )
+        .mode(ExecutionMode::Jit(JitPolicy::full()))
+        .build()
+        .expect("the paper's plan builds");
+    let mut session = engine.session().expect("session opens");
 
     let arrivals: Vec<(&str, u16, Arc<BaseTuple>)> = vec![
         ("c0(y=999)", 2, base(2, 99, 0, vec![999])),
@@ -84,11 +66,19 @@ fn main() {
     let mut last_results = 0;
     let mut last_intermediate = 0;
     let mut last_suppressed = 0;
+    let mut last_suspends = 0;
     for (label, source, tuple) in arrivals {
-        executor.ingest(SourceId(source), tuple);
-        let stats = executor.metrics().stats;
+        session
+            .push(SourceId(source), tuple)
+            .expect("in-order push");
+        let stats = session.metrics_snapshot().stats;
+        let note = if stats.feedback_suspend > last_suspends {
+            "  ← MNS detected, producer suspended"
+        } else {
+            ""
+        };
         println!(
-            "{label:<16} → partial results so far: {:>2}   suppressed inputs: {:>2}   final results: {:>2}   new finals: {}",
+            "{label:<16} → partial results so far: {:>2}   suppressed inputs: {:>2}   final results: {:>2}   new finals: {}{note}",
             stats.intermediate_produced,
             stats.intermediate_suppressed,
             stats.results_emitted,
@@ -97,6 +87,7 @@ fn main() {
         last_results = stats.results_emitted;
         last_intermediate = stats.intermediate_produced;
         last_suppressed = stats.intermediate_suppressed;
+        last_suspends = stats.feedback_suspend;
     }
 
     println!("\nWhen c1 arrives, Op2 finds the buffered MNS a1, resumes Op1, and the");
@@ -106,16 +97,11 @@ fn main() {
         last_results, last_intermediate, last_suppressed
     );
 
-    // Sanity: REF on the same sequence reports the same number of results.
-    assert_eq!(last_results, executor.results().len() as u64);
-    assert_eq!(executor.order_violations(), 0);
-    let op1_ref = executor.operator(op1);
+    let outcome = session.finish().expect("session finishes");
+    assert_eq!(last_results, outcome.results_count);
+    assert_eq!(outcome.order_violations, 0);
     println!(
-        "(Op1 is {} suspended at the end of the run.)",
-        if op1_ref.is_suspended() {
-            "still"
-        } else {
-            "no longer"
-        }
+        "({} suspend / {} resume feedback messages were exchanged along the way.)",
+        outcome.snapshot.stats.feedback_suspend, outcome.snapshot.stats.feedback_resume
     );
 }

@@ -1,8 +1,9 @@
-//! Multi-core quickstart: the sharded parallel runtime in five minutes.
+//! Multi-core quickstart: one engine builder, one `.sharded(...)` call.
 //!
-//! Generates a key-partitionable clique-join workload, runs it once on the
-//! single-threaded executor and once across four hash-partitioned shards,
-//! and shows that the result sets agree while the work spreads over cores.
+//! Generates a key-partitionable clique-join workload, builds two engines
+//! from the *same* builder — one on the single-threaded executor, one
+//! across four hash-partitioned shards — and shows that the result sets
+//! agree while the work spreads over cores.
 //!
 //! ```text
 //! cargo run --release --example parallel_quickstart
@@ -12,7 +13,9 @@ use jit_dsms::prelude::*;
 
 fn main() {
     // A workload whose join predicates all reduce to key equality
-    // (shared-key mode), which makes hash-sharding lossless.
+    // (shared-key mode), which makes hash-sharding lossless. The engine
+    // checks this at build time: a non-partitionable workload would be a
+    // typed `EngineError::NotPartitionable`, not silently missing results.
     let spec = parallel_workload(4, 50)
         .with_rate(2.0)
         .with_window_minutes(3.0)
@@ -27,15 +30,17 @@ fn main() {
         spec.dmax
     );
 
+    let builder = Engine::builder()
+        .workload(&spec, &shape)
+        .mode(ExecutionMode::Jit(JitPolicy::full()));
+
     // Baseline: the paper's single-threaded cascade executor.
-    let sequential = QueryRuntime::run_trace(
-        &trace,
-        &spec,
-        &shape,
-        ExecutionMode::Jit(JitPolicy::full()),
-        ExecutorConfig::default(),
-    )
-    .expect("plan builds");
+    let sequential = builder
+        .clone()
+        .build()
+        .expect("engine builds")
+        .run_trace(&trace)
+        .expect("single-threaded run succeeds");
     println!(
         "single-threaded JIT: {} results, {:.2} pseudo-seconds of CPU cost",
         sequential.results_count,
@@ -43,19 +48,18 @@ fn main() {
     );
 
     // The same trace across four shards: one executor per core, bounded
-    // channels in between, timestamp-ordered merge at the sink.
-    let runtime_config = RuntimeConfig::with_shards(4)
-        .with_batch_size(64)
-        .with_channel_capacity(32);
-    let parallel = run_parallel_trace(
-        &trace,
-        &spec,
-        &shape,
-        ExecutionMode::Jit(JitPolicy::full()),
-        ExecutorConfig::default(),
-        runtime_config,
-    )
-    .expect("parallel run succeeds");
+    // channels in between, timestamp-ordered merge at the sink. Switching
+    // backends is configuration, not code.
+    let parallel = builder
+        .sharded(
+            RuntimeConfig::with_shards(4)
+                .with_batch_size(64)
+                .with_channel_capacity(32),
+        )
+        .build()
+        .expect("shared-key workload shards")
+        .run_trace(&trace)
+        .expect("parallel run succeeds");
     println!(
         "sharded JIT (4 shards): {} results, max shard load {:.0}%",
         parallel.results_count,

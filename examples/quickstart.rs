@@ -7,8 +7,8 @@
 //! The example
 //! 1. parses the CQL query of Figure 1a,
 //! 2. generates a synthetic workload for its three sources,
-//! 3. executes the same trace with the reference engine (REF) and with
-//!    just-in-time processing (JIT), and
+//! 3. executes the same trace on two engines built from one builder — the
+//!    reference engine (REF) and just-in-time processing (JIT) — and
 //! 4. verifies both produce the same results while printing how much work
 //!    JIT saved.
 
@@ -40,13 +40,16 @@ fn main() {
         .with_seed(7);
     let shape = PlanShape::left_deep(3); // (A ⋈ B) ⋈ C, as in Figure 1b
 
-    let outcomes = QueryRuntime::compare(
-        &workload,
-        &shape,
-        &[ExecutionMode::Ref, ExecutionMode::Jit(JitPolicy::full())],
-        ExecutorConfig::default(),
-    )
-    .expect("plan builds");
+    // One builder, two engines: only the execution mode differs. The same
+    // builder could target every core with `.sharded(RuntimeConfig …)`.
+    let trace = WorkloadGenerator::generate(&workload);
+    let outcomes = Engine::builder()
+        .workload(&workload, &shape)
+        .compare(
+            &trace,
+            &[ExecutionMode::Ref, ExecutionMode::Jit(JitPolicy::full())],
+        )
+        .expect("engine builds");
     let (ref_run, jit_run) = (&outcomes[0], &outcomes[1]);
 
     println!("\n              {:>14} {:>14}", "REF", "JIT");

@@ -1,6 +1,7 @@
 //! Sensor-network alarm detection — the motivating scenario of the paper's
-//! introduction: "an abnormal combination of readings from close-by humidity,
-//! light and temperature sensors may trigger the alarm in a factory".
+//! introduction, as a *batch* comparison of REF, DOE and JIT. (See
+//! `examples/live_session.rs` for the same scenario served through the
+//! push-based live-session API.)
 //!
 //! ```text
 //! cargo run --example sensor_alarm --release
@@ -33,17 +34,18 @@ fn main() {
         workload.window_minutes, workload.rate_per_sec, workload.dmax
     );
 
-    let outcomes = QueryRuntime::compare(
-        &workload,
-        &shape,
-        &[
-            ExecutionMode::Ref,
-            ExecutionMode::Doe,
-            ExecutionMode::Jit(JitPolicy::full()),
-        ],
-        ExecutorConfig::default(),
-    )
-    .expect("plan builds");
+    let trace = WorkloadGenerator::generate(&workload);
+    let outcomes = Engine::builder()
+        .workload(&workload, &shape)
+        .compare(
+            &trace,
+            &[
+                ExecutionMode::Ref,
+                ExecutionMode::Doe,
+                ExecutionMode::Jit(JitPolicy::full()),
+            ],
+        )
+        .expect("engine builds");
 
     println!(
         "{:<6} {:>14} {:>14} {:>12} {:>14} {:>12}",

@@ -16,13 +16,19 @@
 //! * [`plan`] — plan construction (bushy / left-deep / M-Join / Eddy).
 //! * [`runtime`] — the sharded parallel runtime: hash-partitioned
 //!   multi-core execution of the same plans.
+//! * [`engine`] — **the public entry point**: the push-based
+//!   `EngineBuilder` → `Engine` → `Session` API serving both the
+//!   single-threaded executor and the sharded runtime behind one
+//!   `Backend` seam.
 //! * [`harness`] — experiment harness regenerating the paper's figures,
 //!   plus the parallel entry point for scaling experiments.
 //!
-//! See `examples/quickstart.rs` for a five-minute tour and
+//! See `examples/quickstart.rs` for a five-minute tour,
+//! `examples/live_session.rs` for push-based live ingestion, and
 //! `examples/parallel_quickstart.rs` for the multi-core version.
 
 pub use jit_core as core;
+pub use jit_engine as engine;
 pub use jit_exec as exec;
 pub use jit_harness as harness;
 pub use jit_metrics as metrics;
@@ -35,6 +41,7 @@ pub use jit_types as types;
 /// built on the library.
 pub mod prelude {
     pub use jit_core::policy::{ExecutionMode, JitPolicy, MnsDetection};
+    pub use jit_engine::{Backend, Engine, EngineBuilder, EngineError, EngineOutcome, Session};
     pub use jit_exec::executor::{Executor, ExecutorConfig};
     pub use jit_exec::output;
     pub use jit_harness::config::ExperimentConfig;
@@ -43,11 +50,12 @@ pub mod prelude {
     pub use jit_plan::cql::parse_cql;
     pub use jit_plan::runtime::{QueryRuntime, RunOutcome};
     pub use jit_plan::shapes::{PlanShape, TreeShape};
-    pub use jit_runtime::{ParallelOutcome, RuntimeConfig, ShardedRuntime};
+    pub use jit_runtime::{ParallelOutcome, RuntimeConfig, ShardedRuntime, ShardedSession};
+    pub use jit_stream::arrival::ArrivalEvent;
     pub use jit_stream::workload::WorkloadSpec;
     pub use jit_stream::{ShardPartitioner, Trace, WorkloadGenerator};
     pub use jit_types::{
-        Catalog, ColumnRef, Duration, EquiPredicate, Feedback, FeedbackCommand, PredicateSet,
-        SourceId, SourceSet, Timestamp, Tuple, Value, Window,
+        BaseTuple, Catalog, ColumnRef, Duration, EquiPredicate, Feedback, FeedbackCommand,
+        PredicateSet, SourceId, SourceSet, Timestamp, Tuple, Value, Window,
     };
 }

@@ -1,0 +1,254 @@
+//! The unified `Engine`/`Session` API: cross-backend equivalence and typed
+//! build-time rejection.
+//!
+//! The headline test drives the *same* pushed tuple sequence through both
+//! `Backend` implementations — the single-threaded executor and the sharded
+//! runtime at 1 and 4 shards — purely by builder configuration, and asserts
+//! set-equal, timestamp-ordered results and matching steady-state metrics
+//! against the legacy `QueryRuntime::run` path (which still drives the raw
+//! executor directly, making it an independent oracle).
+
+use jit_dsms::prelude::*;
+use std::sync::Arc;
+
+fn shared_key_spec() -> WorkloadSpec {
+    parallel_workload(4, 16)
+        .with_rate(1.0)
+        .with_window_minutes(2.0)
+        .with_duration(Duration::from_secs(120))
+        .with_seed(4242)
+}
+
+/// Push `trace` tuple by tuple through an engine built from `builder`.
+fn push_through(builder: EngineBuilder, trace: &Trace) -> EngineOutcome {
+    let engine = builder.build().expect("engine builds");
+    let mut session = engine.session().expect("session opens");
+    for event in trace.iter() {
+        session.push_event(event.clone()).expect("in-order push");
+    }
+    session.finish().expect("session finishes")
+}
+
+#[test]
+fn same_pushed_sequence_through_both_backends_matches_legacy_runtime() {
+    let spec = shared_key_spec();
+    let shape = PlanShape::bushy(4);
+    let trace = WorkloadGenerator::generate(&spec);
+
+    // Legacy oracle: the pre-engine batch driver on the raw executor.
+    let legacy = QueryRuntime::run_trace(
+        &trace,
+        &spec,
+        &shape,
+        ExecutionMode::Ref,
+        ExecutorConfig::default(),
+    )
+    .expect("legacy plan builds");
+    assert!(legacy.results_count > 0, "workload must produce results");
+
+    let builder = Engine::builder().workload(&spec, &shape); // REF by default
+    let single = push_through(builder.clone(), &trace);
+    let one_shard = push_through(
+        builder.clone().sharded(RuntimeConfig::with_shards(1)),
+        &trace,
+    );
+    let four_shards = push_through(
+        builder.clone().sharded(RuntimeConfig::with_shards(4)),
+        &trace,
+    );
+
+    for (label, outcome) in [
+        ("single-threaded", &single),
+        ("1 shard", &one_shard),
+        ("4 shards", &four_shards),
+    ] {
+        assert!(
+            output::same_results(&legacy.results, &outcome.results),
+            "{label} diverged from the legacy runtime: missing {}, extra {}",
+            output::missing_from(&legacy.results, &outcome.results).len(),
+            output::missing_from(&outcome.results, &legacy.results).len(),
+        );
+        assert!(
+            output::is_temporally_ordered(&outcome.results),
+            "{label} results out of timestamp order"
+        );
+        assert_eq!(outcome.order_violations, 0, "{label}");
+        assert_eq!(outcome.results_count, legacy.results_count, "{label}");
+    }
+
+    // Steady-state metrics. The single-threaded backend and the one-shard
+    // sharded backend run the identical executor over the identical
+    // sequence, so every deterministic metric matches the legacy run
+    // exactly (wall-clock is the one nondeterministic field).
+    for (label, outcome) in [("single-threaded", &single), ("1 shard", &one_shard)] {
+        assert_eq!(outcome.snapshot.stats, legacy.snapshot.stats, "{label}");
+        assert_eq!(
+            outcome.snapshot.steady_cost_units, legacy.snapshot.steady_cost_units,
+            "{label}"
+        );
+        assert_eq!(
+            outcome.snapshot.cost_units, legacy.snapshot.cost_units,
+            "{label}"
+        );
+        assert_eq!(
+            outcome.snapshot.steady_peak_memory_bytes, legacy.snapshot.steady_peak_memory_bytes,
+            "{label}"
+        );
+    }
+    // At 4 shards the partition-invariant counters still agree (per-probe
+    // cost shrinks with per-shard state, so cost units legitimately drop).
+    assert_eq!(
+        four_shards.snapshot.stats.tuples_arrived,
+        legacy.snapshot.stats.tuples_arrived
+    );
+    assert_eq!(
+        four_shards.snapshot.stats.results_emitted,
+        legacy.snapshot.stats.results_emitted
+    );
+    assert_eq!(four_shards.per_shard.len(), 4);
+}
+
+#[test]
+fn jit_mode_agrees_across_backends_in_the_no_expiry_regime() {
+    // Window longer than the stream: nothing expires, so JIT's result set
+    // equals REF's exactly and per-shard suppression state cannot shift the
+    // margin — both backends must agree to the tuple.
+    let spec = shared_key_spec()
+        .with_window_minutes(30.0)
+        .with_duration(Duration::from_secs(90));
+    let shape = PlanShape::bushy(4);
+    let trace = WorkloadGenerator::generate(&spec);
+    let builder = Engine::builder()
+        .workload(&spec, &shape)
+        .mode(ExecutionMode::Jit(JitPolicy::full()));
+    let single = push_through(builder.clone(), &trace);
+    let sharded = push_through(
+        builder.clone().sharded(RuntimeConfig::with_shards(4)),
+        &trace,
+    );
+    assert!(single.results_count > 0);
+    assert!(output::same_results(&single.results, &sharded.results));
+    assert!(!output::has_duplicates(&sharded.results));
+    assert_eq!(single.mode_label, "JIT");
+    assert_eq!(sharded.mode_label, "JIT");
+}
+
+#[test]
+fn non_partitionable_workload_on_sharded_backend_is_a_typed_build_error() {
+    // No shared key: the clique predicates equate *different* columns of
+    // each source pair, so no single hash column is safe.
+    let spec = WorkloadSpec::bushy_default()
+        .with_sources(4)
+        .with_duration(Duration::from_secs(30));
+    let result = Engine::builder()
+        .workload(&spec, &PlanShape::bushy(4))
+        .sharded(RuntimeConfig::with_shards(4))
+        .build();
+    match result {
+        Err(EngineError::NotPartitionable { detail }) => {
+            assert!(detail.contains("partition key"), "detail: {detail}");
+        }
+        other => panic!("expected NotPartitionable, got {other:?}"),
+    }
+    // The identical builder works single-threaded…
+    assert!(Engine::builder()
+        .workload(&spec, &PlanShape::bushy(4))
+        .build()
+        .is_ok());
+    // …and at one shard, where nothing can be lost.
+    assert!(Engine::builder()
+        .workload(&spec, &PlanShape::bushy(4))
+        .sharded(RuntimeConfig::with_shards(1))
+        .build()
+        .is_ok());
+}
+
+#[test]
+fn cql_round_trip_parse_engine_results() {
+    // Parse → engine → push hand-made tuples → results. A and B each carry
+    // one column (x); the 60-second window separates the two join pairs.
+    let engine = Engine::builder()
+        .query_cql(
+            "SELECT * FROM A [RANGE 60 seconds], B [RANGE 60 seconds] \
+             WHERE A.x = B.x",
+        )
+        .mode(ExecutionMode::Jit(JitPolicy::full()))
+        .build()
+        .expect("CQL query builds");
+    assert_eq!(engine.query().shape, PlanShape::left_deep(2));
+    let mut session = engine.session().expect("session opens");
+
+    let tuple = |source: u16, seq: u64, ts_s: u64, x: i64| {
+        Arc::new(BaseTuple::new(
+            SourceId(source),
+            seq,
+            Timestamp::from_secs(ts_s),
+            vec![Value::int(x)],
+        ))
+    };
+    session.push(SourceId(0), tuple(0, 0, 0, 7)).unwrap();
+    session.push(SourceId(1), tuple(1, 0, 1, 7)).unwrap(); // joins a0
+    session.push(SourceId(1), tuple(1, 1, 2, 9)).unwrap(); // no partner yet
+    let early = session.poll_results();
+    assert_eq!(early.len(), 1, "the x=7 pair is available immediately");
+    session.push(SourceId(0), tuple(0, 1, 70, 9)).unwrap(); // b1 expired (68s > 60s)
+    session.push(SourceId(1), tuple(1, 2, 75, 9)).unwrap(); // joins a1 (5s apart)
+    let outcome = session.finish().expect("session finishes");
+    assert_eq!(outcome.results_count, 2, "x=7 pair and the fresh x=9 pair");
+    assert_eq!(outcome.results.len(), 1, "one result was already polled");
+    assert_eq!(outcome.order_violations, 0);
+}
+
+#[test]
+fn out_of_order_push_is_a_typed_error() {
+    let engine = Engine::builder()
+        .query_cql("SELECT * FROM A [RANGE 60 seconds], B [RANGE 60 seconds] WHERE A.x = B.x")
+        .build()
+        .unwrap();
+    let mut session = engine.session().unwrap();
+    let tuple = |ts_s: u64| {
+        Arc::new(BaseTuple::new(
+            SourceId(0),
+            0,
+            Timestamp::from_secs(ts_s),
+            vec![Value::int(1)],
+        ))
+    };
+    session.push(SourceId(0), tuple(10)).unwrap();
+    let err = session.push(SourceId(0), tuple(5));
+    assert!(matches!(err, Err(EngineError::OutOfOrder { .. })));
+    // The session remains usable for in-order pushes.
+    session.push(SourceId(0), tuple(10)).unwrap();
+    session.finish().unwrap();
+}
+
+#[test]
+fn polled_and_final_results_partition_the_stream() {
+    // Polling mid-run must never duplicate or drop results relative to a
+    // poll-free run, on either backend.
+    let spec = shared_key_spec();
+    let shape = PlanShape::bushy(4);
+    let trace = WorkloadGenerator::generate(&spec);
+    for builder in [
+        Engine::builder().workload(&spec, &shape),
+        Engine::builder()
+            .workload(&spec, &shape)
+            .sharded(RuntimeConfig::with_shards(3)),
+    ] {
+        let baseline = push_through(builder.clone(), &trace);
+        let engine = builder.build().unwrap();
+        let mut session = engine.session().unwrap();
+        let mut streamed = Vec::new();
+        for (i, event) in trace.iter().enumerate() {
+            session.push_event(event.clone()).unwrap();
+            if i % 50 == 0 {
+                streamed.extend(session.poll_results());
+            }
+        }
+        let outcome = session.finish().unwrap();
+        streamed.extend(outcome.results.iter().cloned());
+        assert_eq!(streamed.len() as u64, outcome.results_count);
+        assert!(output::same_results(&baseline.results, &streamed));
+        assert!(output::is_temporally_ordered(&streamed));
+    }
+}

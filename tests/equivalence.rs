@@ -19,8 +19,16 @@
 use jit_dsms::prelude::*;
 use proptest::prelude::*;
 
-fn run_modes(spec: &WorkloadSpec, shape: &PlanShape, modes: &[ExecutionMode]) -> Vec<RunOutcome> {
-    QueryRuntime::compare(spec, shape, modes, ExecutorConfig::default()).expect("plan builds")
+fn run_modes(
+    spec: &WorkloadSpec,
+    shape: &PlanShape,
+    modes: &[ExecutionMode],
+) -> Vec<EngineOutcome> {
+    let trace = WorkloadGenerator::generate(spec);
+    Engine::builder()
+        .workload(spec, shape)
+        .compare(&trace, modes)
+        .expect("engine builds")
 }
 
 fn all_modes() -> Vec<ExecutionMode> {
@@ -128,8 +136,15 @@ fn results_are_window_valid_and_ordered() {
         .with_duration(Duration::from_secs(240))
         .with_seed(5);
     let shape = PlanShape::left_deep(4);
+    let trace = WorkloadGenerator::generate(&spec);
     for mode in [ExecutionMode::Ref, ExecutionMode::Jit(JitPolicy::full())] {
-        let outcome = QueryRuntime::run(&spec, &shape, mode, ExecutorConfig::default()).unwrap();
+        let outcome = Engine::builder()
+            .workload(&spec, &shape)
+            .mode(mode)
+            .build()
+            .unwrap()
+            .run_trace(&trace)
+            .unwrap();
         if matches!(mode, ExecutionMode::Ref) {
             // Prompt processing emits in timestamp order; JIT may re-emit a
             // suppressed result late (documented deviation).
