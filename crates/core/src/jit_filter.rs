@@ -165,6 +165,7 @@ impl Operator for JitStaticJoinOperator {
         let mut evals = 0u64;
         for rel_tuple in &self.relation {
             ctx.metrics.stats.probe_pairs += 1;
+            ctx.metrics.charge(CostKind::ProbePair, 1);
             let rel = Tuple::from_base(rel_tuple.clone());
             // Per-component matching feeds the lattice and the join result.
             let mut matched = SourceSet::EMPTY;
@@ -197,8 +198,6 @@ impl Operator for JitStaticJoinOperator {
                 }
             }
         }
-        ctx.metrics
-            .charge(CostKind::ProbePair, self.relation.len() as u64);
         ctx.metrics.stats.predicate_evals += evals;
         ctx.metrics.charge(CostKind::PredicateEval, evals);
 

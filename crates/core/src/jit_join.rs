@@ -45,7 +45,7 @@ use crate::policy::{JitPolicy, MnsDetection};
 use jit_exec::operator::{
     DataMessage, FeedbackOutcome, OpContext, Operator, OperatorOutput, Port, LEFT, RIGHT,
 };
-use jit_exec::state::OperatorState;
+use jit_exec::state::{JoinKeySpec, OperatorState, StateIndexMode};
 use jit_metrics::CostKind;
 use jit_types::{
     ColumnRef, Feedback, FeedbackCommand, PredicateSet, SourceSet, Timestamp, Tuple, TupleKey,
@@ -82,6 +82,16 @@ pub struct JitJoinOperator {
     /// Per-side Bloom filters over the state's join-column values
     /// (only maintained under [`MnsDetection::Bloom`]).
     blooms: [HashMap<ColumnRef, BloomFilter>; 2],
+    /// Full-key spec for probing the *opposite* state with an input
+    /// arriving on each port, precomputed from the predicates.
+    probe_specs: [JoinKeySpec; 2],
+    /// Per-port membership-probe specs for every lattice node (subset of
+    /// the port's candidate sources), precomputed so the hashed probe path
+    /// allocates no spec per tuple.
+    node_specs: [HashMap<SourceSet, JoinKeySpec>; 2],
+    /// Per-port lattice nodes in settling order (largest first), so the
+    /// hashed probe path allocates and sorts nothing per tuple.
+    node_order: [Vec<SourceSet>; 2],
     /// Ø-suspension: when set, all inputs are buffered unprocessed.
     fully_suspended: bool,
     /// Inputs buffered while fully suspended, with their arrival instants.
@@ -100,11 +110,44 @@ impl JitJoinOperator {
         policy: JitPolicy,
     ) -> Self {
         let name = name.into();
+        let schema_of = |port: Port| {
+            if port == LEFT {
+                left_schema
+            } else {
+                right_schema
+            }
+        };
+        let probe_specs = [LEFT, RIGHT].map(|port| {
+            JoinKeySpec::between(
+                &predicates,
+                schema_of(Self::opposite(port)),
+                schema_of(port),
+            )
+        });
+        let node_specs = [LEFT, RIGHT].map(|port| {
+            let opp_schema = schema_of(Self::opposite(port));
+            predicates
+                .sources_facing(schema_of(port), opp_schema)
+                .non_empty_subsets()
+                .into_iter()
+                .map(|node| (node, JoinKeySpec::between(&predicates, opp_schema, node)))
+                .collect()
+        });
+        let node_order = [LEFT, RIGHT].map(|port| {
+            let mut nodes = predicates
+                .sources_facing(schema_of(port), schema_of(Self::opposite(port)))
+                .non_empty_subsets();
+            nodes.sort_by_key(|s| std::cmp::Reverse(s.len()));
+            nodes
+        });
         JitJoinOperator {
             states: [
                 OperatorState::new(format!("{name}.SL")),
                 OperatorState::new(format!("{name}.SR")),
             ],
+            probe_specs,
+            node_specs,
+            node_order,
             mns_buffers: [
                 MnsBuffer::new(format!("{name}.NB_L")),
                 MnsBuffer::new(format!("{name}.NB_R")),
@@ -127,6 +170,21 @@ impl JitJoinOperator {
             window,
             policy,
         }
+    }
+
+    /// Select how the two operator states answer probes (default
+    /// [`StateIndexMode::Hashed`]).
+    ///
+    /// Under the hashed mode the consumer probe, the lattice-based MNS
+    /// detection and `Resume_Production`'s regeneration probe all go through
+    /// the state's hash indexes; [`StateIndexMode::Scan`] restores the
+    /// historical nested-loop behaviour (the two are result- and
+    /// feedback-equivalent, see the equivalence suite).
+    pub fn with_state_index(mut self, mode: StateIndexMode) -> Self {
+        for state in &mut self.states {
+            state.set_index_mode(mode);
+        }
+        self
     }
 
     /// Schema of one input side.
@@ -552,12 +610,29 @@ impl JitJoinOperator {
         if !matching.is_empty() {
             outcome.propagate.push((opp, Feedback::resume(matching)));
         }
-        // Regenerate exactly the pairs never produced before.
+        // Regenerate exactly the pairs never produced before, probing only
+        // the candidates sharing the restored tuple's equi-join key.
         let mut evals = 0u64;
         let key = suspended.tuple.key();
         let mut produced = Vec::new();
-        for stored in self.states[opp].iter() {
+        let spec_owned;
+        let spec = if suspended.tuple.sources() == self.schema_of(side) {
+            &self.probe_specs[side]
+        } else {
+            spec_owned = JoinKeySpec::between(
+                &self.predicates,
+                self.schema_of(opp),
+                suspended.tuple.sources(),
+            );
+            &spec_owned
+        };
+        let seqs = self.states[opp].probe(spec, &suspended.tuple);
+        for seq in seqs {
+            let Some(stored) = self.states[opp].get(seq) else {
+                continue;
+            };
             ctx.metrics.stats.probe_pairs += 1;
+            ctx.metrics.charge(CostKind::ProbePair, 1);
             if !self
                 .window
                 .can_join(suspended.tuple.ts(), stored.tuple.ts())
@@ -577,8 +652,6 @@ impl JitJoinOperator {
                 }
             }
         }
-        ctx.metrics
-            .charge(CostKind::ProbePair, self.states[opp].len() as u64);
         ctx.metrics.stats.predicate_evals += evals;
         ctx.metrics.charge(CostKind::PredicateEval, evals);
         outcome.resumed.extend(produced);
@@ -671,23 +744,119 @@ impl Operator for JitJoinOperator {
         ctx.metrics.stats.state_probes += 1;
         let mut results = Vec::new();
         let mut evals = 0u64;
-        let opp_len = self.states[opp].len() as u64;
-        let mut pairs: Vec<(Tuple, bool)> = Vec::new();
-        for stored in self.states[opp].iter() {
-            ctx.metrics.stats.probe_pairs += 1;
-            if !self.window.can_join(msg.tuple.ts(), stored.tuple.ts()) {
-                continue;
+        let mut pairs: Vec<Tuple> = Vec::new();
+        if self.states[opp].index_mode() == StateIndexMode::Hashed {
+            // Hash-indexed probe: only candidates carrying the full
+            // spanning equi-join key (plus unindexable overflow entries)
+            // are examined for results. The spec is precomputed per port;
+            // a fresh one is derived only for inputs not covering the
+            // port's schema exactly (never the case in well-formed plans).
+            let spec_owned;
+            let spec = if msg.tuple.sources() == self.schema_of(port) {
+                &self.probe_specs[port]
+            } else {
+                spec_owned = JoinKeySpec::between(
+                    &self.predicates,
+                    self.schema_of(opp),
+                    msg.tuple.sources(),
+                );
+                &spec_owned
+            };
+            let seqs = self.states[opp].probe(spec, &msg.tuple);
+            for seq in seqs {
+                let Some(stored) = self.states[opp].get(seq) else {
+                    continue;
+                };
+                ctx.metrics.stats.probe_pairs += 1;
+                ctx.metrics.charge(CostKind::ProbePair, 1);
+                if !self.window.can_join(msg.tuple.ts(), stored.tuple.ts()) {
+                    continue;
+                }
+                let matched =
+                    self.matched_components(&msg.tuple, &stored.tuple, candidates, &mut evals);
+                if let Some(l) = lattice.as_mut() {
+                    l.observe(matched, ctx.metrics);
+                }
+                if matched == candidates {
+                    pairs.push(stored.tuple.clone());
+                }
             }
-            let matched =
-                self.matched_components(&msg.tuple, &stored.tuple, candidates, &mut evals);
+            // The lattice's remaining nodes are settled by one membership
+            // probe each (largest first, so a hit also kills the
+            // sub-nodes): node S is dead iff some live stored tuple within
+            // the window matches every predicate from S — exactly what the
+            // per-tuple scan used to establish. The top node is already
+            // settled by the full probe above.
             if let Some(l) = lattice.as_mut() {
-                l.observe(matched, ctx.metrics);
+                // Settling order is precomputed per port; derive it fresh
+                // only for inputs not covering the port's schema exactly.
+                let node_order_owned;
+                let node_order: &[SourceSet] = if msg.tuple.sources() == self.schema_of(port) {
+                    &self.node_order[port]
+                } else {
+                    let mut nodes = candidates.non_empty_subsets();
+                    nodes.sort_by_key(|s| std::cmp::Reverse(s.len()));
+                    node_order_owned = nodes;
+                    &node_order_owned
+                };
+                for &node in node_order {
+                    if l.all_dead() {
+                        break;
+                    }
+                    if node == candidates || !l.is_alive(node) {
+                        continue;
+                    }
+                    let node_spec_owned;
+                    let node_spec = match self.node_specs[port].get(&node) {
+                        Some(spec) => spec,
+                        None => {
+                            node_spec_owned =
+                                JoinKeySpec::between(&self.predicates, self.schema_of(opp), node);
+                            &node_spec_owned
+                        }
+                    };
+                    let seqs = self.states[opp].probe(node_spec, &msg.tuple);
+                    let mut hit = false;
+                    for seq in seqs {
+                        let Some(stored) = self.states[opp].get(seq) else {
+                            continue;
+                        };
+                        ctx.metrics.stats.probe_pairs += 1;
+                        ctx.metrics.charge(CostKind::ProbePair, 1);
+                        if !self.window.can_join(msg.tuple.ts(), stored.tuple.ts()) {
+                            continue;
+                        }
+                        if self.matched_components(&msg.tuple, &stored.tuple, node, &mut evals)
+                            == node
+                        {
+                            hit = true;
+                            break;
+                        }
+                    }
+                    if hit {
+                        l.observe(node, ctx.metrics);
+                    }
+                }
             }
-            if matched == candidates {
-                pairs.push((stored.tuple.clone(), true));
+        } else {
+            // Scan baseline: every stored tuple is examined and observed.
+            for stored in self.states[opp].iter() {
+                ctx.metrics.stats.probe_pairs += 1;
+                ctx.metrics.charge(CostKind::ProbePair, 1);
+                if !self.window.can_join(msg.tuple.ts(), stored.tuple.ts()) {
+                    continue;
+                }
+                let matched =
+                    self.matched_components(&msg.tuple, &stored.tuple, candidates, &mut evals);
+                if let Some(l) = lattice.as_mut() {
+                    l.observe(matched, ctx.metrics);
+                }
+                if matched == candidates {
+                    pairs.push(stored.tuple.clone());
+                }
             }
         }
-        for (stored_tuple, _) in pairs {
+        for stored_tuple in pairs {
             if let Ok(joined) = msg.tuple.join(&stored_tuple) {
                 ctx.metrics.charge(CostKind::ResultBuild, 1);
                 results.push(DataMessage {
@@ -696,7 +865,6 @@ impl Operator for JitJoinOperator {
                 });
             }
         }
-        ctx.metrics.charge(CostKind::ProbePair, opp_len);
         ctx.metrics.stats.predicate_evals += evals;
         ctx.metrics.charge(CostKind::PredicateEval, evals);
 

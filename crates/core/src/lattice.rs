@@ -94,6 +94,16 @@ impl CnsLattice {
         metrics.charge(CostKind::LatticeNode, visited);
     }
 
+    /// Is the node for `sources` still alive (never fully matched)?
+    ///
+    /// Used by the hash-indexed probe path, which establishes each node's
+    /// death with one membership probe per node (largest nodes first, so a
+    /// hit also kills every sub-node via [`CnsLattice::observe`]) instead of
+    /// observing every stored tuple. Unknown source sets report as dead.
+    pub fn is_alive(&self, sources: SourceSet) -> bool {
+        self.nodes.iter().any(|n| n.sources == sources && n.alive)
+    }
+
     /// The minimal alive nodes — the MNSs — as source sets.
     ///
     /// Because aliveness is upward closed, these are the alive nodes none of

@@ -7,7 +7,8 @@ use crate::query::{QuerySpec, ResolvedQuery};
 use crate::session::Session;
 use jit_core::policy::ExecutionMode;
 use jit_exec::executor::{Executor, ExecutorConfig};
-use jit_plan::builder::build_tree_plan;
+use jit_exec::state::StateIndexMode;
+use jit_plan::builder::{build_tree_plan_with, PlanOptions};
 use jit_plan::shapes::PlanShape;
 use jit_runtime::{RuntimeConfig, ShardPartitioner, ShardedRuntime};
 use jit_stream::{Trace, WorkloadSpec};
@@ -34,6 +35,7 @@ pub struct EngineBuilder {
     runtime: Option<RuntimeConfig>,
     key_column: usize,
     assume_partitionable: bool,
+    state_index: StateIndexMode,
 }
 
 impl Default for EngineBuilder {
@@ -45,6 +47,7 @@ impl Default for EngineBuilder {
             runtime: None,
             key_column: 0,
             assume_partitionable: false,
+            state_index: StateIndexMode::default(),
         }
     }
 }
@@ -127,6 +130,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Select how every operator state answers probes:
+    /// [`StateIndexMode::Hashed`] (the default — hash-partitioned on the
+    /// equi-join key, with a scan fallback when no hashable key spans two
+    /// inputs) or [`StateIndexMode::Scan`] (the paper's nested-loop
+    /// baseline, used by the figure harness and the probe-scaling bench).
+    /// Both modes produce byte-identical result sets; only the probe cost
+    /// differs.
+    pub fn state_index(mut self, mode: StateIndexMode) -> Self {
+        self.state_index = mode;
+        self
+    }
+
     /// Assert that the workload is key-partitionable as a *data* invariant
     /// even though the predicates do not prove it — the generator's
     /// shared-key mode replicates one key value into every column, so the
@@ -161,13 +176,24 @@ impl EngineBuilder {
         }
         // Dry-build one plan instance so plan errors also surface now, not
         // at the first session.
-        build_tree_plan(&query.shape, &query.predicates, query.window, self.mode)?;
+        let options = PlanOptions {
+            index_mode: self.state_index,
+            filters: query.filters.clone(),
+        };
+        build_tree_plan_with(
+            &query.shape,
+            &query.predicates,
+            query.window,
+            self.mode,
+            &options,
+        )?;
         Ok(Engine {
             query,
             mode: self.mode,
             exec_config: self.exec_config,
             runtime: self.runtime,
             key_column: self.key_column,
+            state_index: self.state_index,
         })
     }
 
@@ -202,6 +228,7 @@ pub struct Engine {
     exec_config: ExecutorConfig,
     runtime: Option<RuntimeConfig>,
     key_column: usize,
+    state_index: StateIndexMode,
 }
 
 impl Engine {
@@ -225,16 +252,26 @@ impl Engine {
         self.runtime.is_some()
     }
 
+    /// The state index mode every session's operator states run under.
+    pub fn state_index(&self) -> StateIndexMode {
+        self.state_index
+    }
+
     /// Open a live session: instantiate the plan(s), spawn shard workers if
     /// sharded, and return the push-based handle.
     pub fn session(&self) -> Result<Session, EngineError> {
+        let options = PlanOptions {
+            index_mode: self.state_index,
+            filters: self.query.filters.clone(),
+        };
         let backend: Box<dyn Backend> = match &self.runtime {
             None => {
-                let plan = build_tree_plan(
+                let plan = build_tree_plan_with(
                     &self.query.shape,
                     &self.query.predicates,
                     self.query.window,
                     self.mode,
+                    &options,
                 )?;
                 Box::new(SingleThreadBackend::new(
                     Executor::new(plan, self.exec_config.clone()),
@@ -246,11 +283,12 @@ impl Engine {
                     ShardPartitioner::new(config.shards).with_key_column(self.key_column),
                 );
                 let session = runtime.start(self.exec_config.clone(), |_shard| {
-                    build_tree_plan(
+                    build_tree_plan_with(
                         &self.query.shape,
                         &self.query.predicates,
                         self.query.window,
                         self.mode,
+                        &options,
                     )
                 })?;
                 Box::new(ShardedBackend::new(session, self.mode.label()))

@@ -3,7 +3,7 @@
 use crate::error::EngineError;
 use jit_plan::cql::parse_cql;
 use jit_plan::shapes::{PlanShape, TreeShape};
-use jit_types::{Duration, PredicateSet, Window};
+use jit_types::{Duration, FilterPredicate, PredicateSet, Window};
 
 /// How the caller described the continuous query.
 #[derive(Debug, Clone)]
@@ -32,6 +32,9 @@ pub struct ResolvedQuery {
     pub predicates: PredicateSet,
     /// Sliding window.
     pub window: Window,
+    /// Constant filters (`A.x > 200`); each filtered source is routed
+    /// through a selection operator before its join port.
+    pub filters: Vec<FilterPredicate>,
 }
 
 impl QuerySpec {
@@ -42,13 +45,6 @@ impl QuerySpec {
         match self {
             QuerySpec::Cql(text) => {
                 let query = parse_cql(text)?;
-                if !query.filters.is_empty() {
-                    return Err(EngineError::Unsupported(
-                        "constant filters are parsed but not yet wired into tree plans; \
-                         remove them or build the plan shape explicitly"
-                            .into(),
-                    ));
-                }
                 let n = query.sources.len();
                 if n < 2 {
                     return Err(EngineError::InvalidQuery(format!(
@@ -64,10 +60,12 @@ impl QuerySpec {
                     ));
                 }
                 let predicates = query.predicates()?;
+                let filters = query.filter_predicates()?;
                 Ok(ResolvedQuery {
                     shape: PlanShape::left_deep(n),
                     predicates,
                     window,
+                    filters,
                 })
             }
             QuerySpec::Shape {
@@ -80,6 +78,7 @@ impl QuerySpec {
                     shape: *shape,
                     predicates: predicates.clone(),
                     window: *window,
+                    filters: Vec::new(),
                 })
             }
         }
@@ -116,6 +115,19 @@ mod tests {
         assert_eq!(resolved.shape, PlanShape::left_deep(2));
         assert_eq!(resolved.predicates.len(), 1);
         assert_eq!(resolved.window.length, Duration::from_mins(5));
+        assert!(resolved.filters.is_empty());
+    }
+
+    #[test]
+    fn cql_filters_resolve_to_filter_predicates() {
+        let q = QuerySpec::Cql(
+            "SELECT * FROM A [RANGE 1 minutes], B [RANGE 1 minutes] \
+             WHERE A.x = B.x AND A.x > 7"
+                .into(),
+        );
+        let resolved = q.resolve().unwrap();
+        assert_eq!(resolved.filters.len(), 1);
+        assert_eq!(resolved.predicates.len(), 1);
     }
 
     #[test]
@@ -126,13 +138,6 @@ mod tests {
         assert!(matches!(single, Err(EngineError::InvalidQuery(_))));
         let windowless = QuerySpec::Cql("SELECT * FROM A, B WHERE A.x = B.x".into()).resolve();
         assert!(matches!(windowless, Err(EngineError::InvalidQuery(_))));
-        let filtered = QuerySpec::Cql(
-            "SELECT * FROM A [RANGE 1 minutes], B [RANGE 1 minutes] \
-             WHERE A.x = B.x AND A.x > 7"
-                .into(),
-        )
-        .resolve();
-        assert!(matches!(filtered, Err(EngineError::Unsupported(_))));
         let unresolved = QuerySpec::Cql(
             "SELECT * FROM A [RANGE 1 minutes], B [RANGE 1 minutes] WHERE A.x = Z.x".into(),
         )

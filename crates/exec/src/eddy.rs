@@ -10,9 +10,10 @@
 //! stored because routing completes within the arrival's cascade.
 
 use crate::operator::{DataMessage, OpContext, Operator, OperatorOutput, Port};
-use crate::state::OperatorState;
+use crate::state::{JoinKeySpec, OperatorState, StateIndexMode};
 use jit_metrics::CostKind;
 use jit_types::{PredicateSet, SourceId, SourceSet, Tuple, Window};
+use std::collections::HashMap;
 
 /// How the Eddy picks the next STeM to visit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +33,10 @@ pub struct EddyOperator {
     predicates: PredicateSet,
     window: Window,
     policy: RoutingPolicy,
+    /// Probe specs cached per (stem, frontier source set) — adaptive
+    /// routing makes the frontiers seen at a stem dynamic, so they are
+    /// derived on first sight rather than precomputed.
+    spec_cache: HashMap<(usize, SourceSet), JoinKeySpec>,
 }
 
 impl EddyOperator {
@@ -52,6 +57,7 @@ impl EddyOperator {
             predicates,
             window,
             policy,
+            spec_cache: HashMap::new(),
         }
     }
 
@@ -63,6 +69,17 @@ impl EddyOperator {
     /// Number of tuples in the STeM of `source`.
     pub fn stem_len(&self, source: SourceId) -> usize {
         self.states[source.index()].len()
+    }
+
+    /// Select how the STeMs answer probes (default
+    /// [`StateIndexMode::Hashed`]). Because the routed partial results grow
+    /// as they visit STeMs, each STeM builds one index per distinct partial
+    /// shape that probes it — the just-in-time indexing discipline.
+    pub fn with_state_index(mut self, mode: StateIndexMode) -> Self {
+        for state in &mut self.states {
+            state.set_index_mode(mode);
+        }
+        self
     }
 
     /// The order in which the remaining STeMs will be visited.
@@ -119,22 +136,49 @@ impl Operator for EddyOperator {
             ctx.metrics.stats.state_probes += 1;
             let mut next: Vec<Tuple> = Vec::new();
             let mut evals = 0u64;
+            // Every partial on this frontier covers the same source set (the
+            // start source plus the stems already visited), so one cached
+            // spec serves the whole batch. The cache is keyed by
+            // (stem, frontier) because adaptive routing makes the visit
+            // order — and with it the frontiers seen at a stem — dynamic.
+            let frontier = partials[0].sources();
+            if !self.spec_cache.contains_key(&(stem, frontier)) {
+                let spec = JoinKeySpec::between(
+                    &self.predicates,
+                    SourceSet::single(SourceId(stem as u16)),
+                    frontier,
+                );
+                self.spec_cache.insert((stem, frontier), spec);
+            }
+            let spec = &self.spec_cache[&(stem, frontier)];
+            let scan = self.states[stem].index_mode() == StateIndexMode::Scan;
+            let window = self.window;
+            let predicates = &self.predicates;
             for partial in &partials {
-                for entry in self.states[stem].iter() {
-                    ctx.metrics.stats.probe_pairs += 1;
-                    if self.window.can_join(partial.ts(), entry.tuple.ts())
-                        && self
-                            .predicates
-                            .join_matches(partial, &entry.tuple, &mut evals)
-                    {
-                        if let Ok(joined) = partial.join(&entry.tuple) {
-                            ctx.metrics.charge(CostKind::ResultBuild, 1);
-                            next.push(joined);
+                let mut examine =
+                    |entry: &crate::state::StoredTuple, metrics: &mut jit_metrics::RunMetrics| {
+                        metrics.stats.probe_pairs += 1;
+                        metrics.charge(CostKind::ProbePair, 1);
+                        if window.can_join(partial.ts(), entry.tuple.ts())
+                            && predicates.join_matches(partial, &entry.tuple, &mut evals)
+                        {
+                            if let Ok(joined) = partial.join(&entry.tuple) {
+                                metrics.charge(CostKind::ResultBuild, 1);
+                                next.push(joined);
+                            }
+                        }
+                    };
+                if scan {
+                    for entry in self.states[stem].iter() {
+                        examine(entry, ctx.metrics);
+                    }
+                } else {
+                    for seq in self.states[stem].probe(spec, partial) {
+                        if let Some(entry) = self.states[stem].get(seq) {
+                            examine(entry, ctx.metrics);
                         }
                     }
                 }
-                ctx.metrics
-                    .charge(CostKind::ProbePair, self.states[stem].len() as u64);
             }
             ctx.metrics.stats.predicate_evals += evals;
             ctx.metrics.charge(CostKind::PredicateEval, evals);

@@ -2,13 +2,15 @@
 //!
 //! This is the baseline the paper compares JIT against: the classic
 //! purge–probe–insert routine for sliding-window joins (Kang et al.,
-//! reference \[16\]), evaluated with a nested loop over the opposite operator
-//! state, storing every generated intermediate result. It never sends or
-//! reacts to feedback.
+//! reference \[16\]), storing every generated intermediate result. It never
+//! sends or reacts to feedback. Probing goes through the
+//! [`OperatorState`] index layer: hash-partitioned on the equi-join key by
+//! default, with a nested-loop scan fallback (and
+//! [`StateIndexMode::Scan`] forcing the historical behaviour).
 
 use crate::operator::{DataMessage, OpContext, Operator, OperatorOutput, Port, LEFT, RIGHT};
-use crate::state::OperatorState;
-use jit_metrics::CostKind;
+use crate::state::{JoinKeySpec, OperatorState, StateIndexMode};
+use jit_metrics::{CostKind, RunMetrics};
 use jit_types::{PredicateSet, SourceSet, Window};
 
 /// Binary sliding-window equi-join without feedback (the REF baseline).
@@ -21,6 +23,10 @@ pub struct RefJoinOperator {
     right_state: OperatorState,
     predicates: PredicateSet,
     window: Window,
+    /// Key spec for probing the right state with left inputs (and its
+    /// mirror): derived once from the predicates spanning the two schemas.
+    probe_right_spec: JoinKeySpec,
+    probe_left_spec: JoinKeySpec,
 }
 
 impl RefJoinOperator {
@@ -39,12 +45,22 @@ impl RefJoinOperator {
         RefJoinOperator {
             left_state: OperatorState::new(format!("{name}.SL")),
             right_state: OperatorState::new(format!("{name}.SR")),
+            probe_right_spec: JoinKeySpec::between(&predicates, right_schema, left_schema),
+            probe_left_spec: JoinKeySpec::between(&predicates, left_schema, right_schema),
             name,
             left_schema,
             right_schema,
             predicates,
             window,
         }
+    }
+
+    /// Select how the two states answer probes (default
+    /// [`StateIndexMode::Hashed`]).
+    pub fn with_state_index(mut self, mode: StateIndexMode) -> Self {
+        self.left_state.set_index_mode(mode);
+        self.right_state.set_index_mode(mode);
+        self
     }
 
     /// The left input's schema.
@@ -94,10 +110,18 @@ impl Operator for RefJoinOperator {
     ) -> OperatorOutput {
         debug_assert!(port == LEFT || port == RIGHT);
         let now = ctx.now;
-        let (own_state, opp_state) = if port == LEFT {
-            (&mut self.left_state, &mut self.right_state)
+        let (own_state, opp_state, spec) = if port == LEFT {
+            (
+                &mut self.left_state,
+                &mut self.right_state,
+                &self.probe_right_spec,
+            )
         } else {
-            (&mut self.right_state, &mut self.left_state)
+            (
+                &mut self.right_state,
+                &mut self.left_state,
+                &self.probe_left_spec,
+            )
         };
 
         // Purge: drop expired tuples from both states.
@@ -105,30 +129,41 @@ impl Operator for RefJoinOperator {
         ctx.metrics.stats.purged_tuples += purged as u64;
         ctx.metrics.charge(CostKind::StatePurge, purged as u64);
 
-        // Probe: nested loop over the opposite state.
+        // Probe: only the candidate partners the index returns; the scan
+        // baseline iterates the slab directly (no per-probe allocation).
         ctx.metrics.stats.state_probes += 1;
         let mut results = Vec::new();
         let mut evals = 0u64;
-        for entry in opp_state.iter() {
-            ctx.metrics.stats.probe_pairs += 1;
-            if self.window.can_join(msg.tuple.ts(), entry.tuple.ts())
-                && self
-                    .predicates
-                    .join_matches(&msg.tuple, &entry.tuple, &mut evals)
-            {
-                if let Ok(joined) = msg.tuple.join(&entry.tuple) {
-                    ctx.metrics.charge(CostKind::ResultBuild, 1);
-                    results.push(DataMessage {
-                        tuple: joined,
-                        marked: msg.marked,
-                    });
+        let window = self.window;
+        let predicates = &self.predicates;
+        {
+            let mut examine = |entry: &crate::state::StoredTuple, metrics: &mut RunMetrics| {
+                metrics.stats.probe_pairs += 1;
+                metrics.charge(CostKind::ProbePair, 1);
+                if window.can_join(msg.tuple.ts(), entry.tuple.ts())
+                    && predicates.join_matches(&msg.tuple, &entry.tuple, &mut evals)
+                {
+                    if let Ok(joined) = msg.tuple.join(&entry.tuple) {
+                        metrics.charge(CostKind::ResultBuild, 1);
+                        results.push(DataMessage {
+                            tuple: joined,
+                            marked: msg.marked,
+                        });
+                    }
+                }
+            };
+            if opp_state.index_mode() == StateIndexMode::Scan {
+                for entry in opp_state.iter() {
+                    examine(entry, ctx.metrics);
+                }
+            } else {
+                for seq in opp_state.probe(spec, &msg.tuple) {
+                    if let Some(entry) = opp_state.get(seq) {
+                        examine(entry, ctx.metrics);
+                    }
                 }
             }
         }
-        ctx.metrics.charge(
-            CostKind::ProbePair,
-            results.len() as u64 + opp_state.len() as u64,
-        );
         ctx.metrics.stats.predicate_evals += evals;
         ctx.metrics.charge(CostKind::PredicateEval, evals);
 
@@ -201,7 +236,21 @@ mod tests {
         assert!(out.results.is_empty());
         assert_eq!(op.left_len(), 2);
         assert_eq!(metrics.stats.state_insertions, 3);
-        assert!(metrics.stats.probe_pairs >= 2);
+        // Indexed probing examines only candidates: a1 met b1's bucket, a2's
+        // value has no bucket at all.
+        assert_eq!(metrics.stats.probe_pairs, 1);
+    }
+
+    #[test]
+    fn scan_mode_examines_every_stored_tuple() {
+        let mut op = setup().with_state_index(crate::state::StateIndexMode::Scan);
+        let mut metrics = RunMetrics::new();
+        process(&mut op, RIGHT, &msg(1, 0, 0, 7), &mut metrics);
+        process(&mut op, LEFT, &msg(0, 0, 1_000, 7), &mut metrics);
+        let out = process(&mut op, LEFT, &msg(0, 1, 2_000, 8), &mut metrics);
+        assert!(out.results.is_empty());
+        // The scan baseline pays one probe pair per stored opposite tuple.
+        assert_eq!(metrics.stats.probe_pairs, 2);
     }
 
     #[test]

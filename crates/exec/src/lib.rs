@@ -10,8 +10,10 @@
 //!   data messages on numbered input ports, may emit result messages and
 //!   upstream [`jit_types::Feedback`], and can be asked to handle feedback
 //!   coming from their consumers.
-//! * [`state::OperatorState`] — sliding-window operator state with
-//!   purge / probe / insert support and running byte accounting.
+//! * [`state::OperatorState`] — indexed sliding-window operator state:
+//!   hash-partitioned probing on the equi-join key ([`state::JoinKeySpec`])
+//!   with a scan fallback, timestamp-ordered O(expired) purging, and
+//!   running byte accounting.
 //! * [`join::RefJoinOperator`] — the reference (REF) binary window join:
 //!   plain purge–probe–insert with no feedback, exactly the baseline the
 //!   paper compares against.
@@ -55,4 +57,4 @@ pub use operator::{
 };
 pub use plan::{ExecutablePlan, Input, PlanBuilder, PlanError};
 pub use scheduler::{Priority, Scheduler, Task, TaskKind};
-pub use state::{OperatorState, StoredTuple};
+pub use state::{JoinKeySpec, OperatorState, StateIndexMode, StoredTuple};

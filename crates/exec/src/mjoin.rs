@@ -8,8 +8,8 @@
 //! whose state it owns.
 
 use crate::operator::{DataMessage, OpContext, Operator, OperatorOutput, Port, LEFT, RIGHT};
-use crate::state::OperatorState;
-use jit_metrics::CostKind;
+use crate::state::{JoinKeySpec, OperatorState, StateIndexMode};
+use jit_metrics::{CostKind, RunMetrics};
 use jit_types::{PredicateSet, SourceSet, Window};
 
 /// Port on which tuples to probe arrive.
@@ -27,6 +27,7 @@ pub struct HalfJoinOperator {
     state: OperatorState,
     predicates: PredicateSet,
     window: Window,
+    probe_spec: JoinKeySpec,
 }
 
 impl HalfJoinOperator {
@@ -42,12 +43,20 @@ impl HalfJoinOperator {
         let name = name.into();
         HalfJoinOperator {
             state: OperatorState::new(format!("{name}.S")),
+            probe_spec: JoinKeySpec::between(&predicates, state_schema, pipeline_schema),
             name,
             pipeline_schema,
             state_schema,
             predicates,
             window,
         }
+    }
+
+    /// Select how the maintained state answers probes (default
+    /// [`StateIndexMode::Hashed`]).
+    pub fn with_state_index(mut self, mode: StateIndexMode) -> Self {
+        self.state.set_index_mode(mode);
+        self
     }
 
     /// Number of tuples currently in the maintained state.
@@ -90,27 +99,41 @@ impl Operator for HalfJoinOperator {
             }
             _ => {
                 // Probe the state with the pipeline tuple; do not store it.
+                // The scan baseline iterates the slab directly.
                 ctx.metrics.stats.state_probes += 1;
                 let mut results = Vec::new();
                 let mut evals = 0u64;
-                for entry in self.state.iter() {
-                    ctx.metrics.stats.probe_pairs += 1;
-                    if self.window.can_join(msg.tuple.ts(), entry.tuple.ts())
-                        && self
-                            .predicates
-                            .join_matches(&msg.tuple, &entry.tuple, &mut evals)
-                    {
-                        if let Ok(joined) = msg.tuple.join(&entry.tuple) {
-                            ctx.metrics.charge(CostKind::ResultBuild, 1);
-                            results.push(DataMessage {
-                                tuple: joined,
-                                marked: msg.marked,
-                            });
+                let window = self.window;
+                let predicates = &self.predicates;
+                {
+                    let mut examine =
+                        |entry: &crate::state::StoredTuple, metrics: &mut RunMetrics| {
+                            metrics.stats.probe_pairs += 1;
+                            metrics.charge(CostKind::ProbePair, 1);
+                            if window.can_join(msg.tuple.ts(), entry.tuple.ts())
+                                && predicates.join_matches(&msg.tuple, &entry.tuple, &mut evals)
+                            {
+                                if let Ok(joined) = msg.tuple.join(&entry.tuple) {
+                                    metrics.charge(CostKind::ResultBuild, 1);
+                                    results.push(DataMessage {
+                                        tuple: joined,
+                                        marked: msg.marked,
+                                    });
+                                }
+                            }
+                        };
+                    if self.state.index_mode() == StateIndexMode::Scan {
+                        for entry in self.state.iter() {
+                            examine(entry, ctx.metrics);
+                        }
+                    } else {
+                        for seq in self.state.probe(&self.probe_spec, &msg.tuple) {
+                            if let Some(entry) = self.state.get(seq) {
+                                examine(entry, ctx.metrics);
+                            }
                         }
                     }
                 }
-                ctx.metrics
-                    .charge(CostKind::ProbePair, self.state.len() as u64);
                 ctx.metrics.stats.predicate_evals += evals;
                 ctx.metrics.charge(CostKind::PredicateEval, evals);
                 OperatorOutput::with_results(results)

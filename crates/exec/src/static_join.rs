@@ -6,11 +6,19 @@
 //! resumption.
 
 use crate::operator::{DataMessage, OpContext, Operator, OperatorOutput, Port};
+use crate::state::{HashIndex, JoinKeySpec, StateIndexMode};
 use jit_metrics::CostKind;
 use jit_types::{BaseTuple, PredicateSet, SourceId, SourceSet, Tuple};
 use std::sync::Arc;
 
 /// Joins each streaming input tuple against a fixed, in-memory relation.
+///
+/// The relation never changes, so under [`StateIndexMode::Hashed`] (the
+/// default) it is hash-partitioned once at construction on the equi-join key
+/// facing the stream; probes then touch only the matching partition.
+/// Relation tuples missing a key column are kept aside and scanned by every
+/// probe, and a probe missing a key value falls back to the full scan —
+/// exactly the [`crate::state::OperatorState`] fallback semantics.
 #[derive(Debug)]
 pub struct StaticJoinOperator {
     name: String,
@@ -19,6 +27,11 @@ pub struct StaticJoinOperator {
     relation: Vec<Arc<BaseTuple>>,
     relation_bytes: usize,
     predicates: PredicateSet,
+    mode: StateIndexMode,
+    probe_spec: JoinKeySpec,
+    /// Relation positions (as handles) bucketed by their equi-join key,
+    /// built once — the relation never changes.
+    index: HashIndex,
 }
 
 impl StaticJoinOperator {
@@ -32,14 +45,58 @@ impl StaticJoinOperator {
         predicates: PredicateSet,
     ) -> Self {
         let relation_bytes = relation.iter().map(|t| t.size_bytes()).sum();
-        StaticJoinOperator {
+        let probe_spec = JoinKeySpec::between(
+            &predicates,
+            SourceSet::single(relation_source),
+            input_schema,
+        );
+        let mut op = StaticJoinOperator {
             name: name.into(),
             input_schema,
             relation_source,
             relation,
             relation_bytes,
             predicates,
+            mode: StateIndexMode::Hashed,
+            probe_spec,
+            index: HashIndex::default(),
+        };
+        op.rebuild_index();
+        op
+    }
+
+    /// Select how the relation answers probes (default
+    /// [`StateIndexMode::Hashed`]).
+    pub fn with_state_index(mut self, mode: StateIndexMode) -> Self {
+        self.mode = mode;
+        self.rebuild_index();
+        self
+    }
+
+    fn rebuild_index(&mut self) {
+        self.index.clear();
+        if self.mode == StateIndexMode::Scan || self.probe_spec.is_empty() {
+            return;
         }
+        for (pos, rel_tuple) in self.relation.iter().enumerate() {
+            let tuple = Tuple::from_base(rel_tuple.clone());
+            self.index.file(&self.probe_spec, &tuple, pos as u64);
+        }
+    }
+
+    /// Positions of the candidate relation tuples for one probe, ascending.
+    fn candidate_positions(&self, probe: &Tuple) -> Vec<usize> {
+        if self.mode == StateIndexMode::Scan || self.probe_spec.is_empty() {
+            return (0..self.relation.len()).collect();
+        }
+        let Some(key) = self.probe_spec.probe_key(probe) else {
+            return (0..self.relation.len()).collect();
+        };
+        self.index
+            .candidates(&key)
+            .into_iter()
+            .map(|handle| handle as usize)
+            .collect()
     }
 
     /// Number of tuples in the static relation.
@@ -71,9 +128,10 @@ impl Operator for StaticJoinOperator {
         ctx.metrics.stats.state_probes += 1;
         let mut results = Vec::new();
         let mut evals = 0u64;
-        for rel_tuple in &self.relation {
+        for pos in self.candidate_positions(&msg.tuple) {
             ctx.metrics.stats.probe_pairs += 1;
-            let rel = Tuple::from_base(rel_tuple.clone());
+            ctx.metrics.charge(CostKind::ProbePair, 1);
+            let rel = Tuple::from_base(self.relation[pos].clone());
             if self.predicates.join_matches(&msg.tuple, &rel, &mut evals) {
                 if let Ok(joined) = msg.tuple.join(&rel) {
                     ctx.metrics.charge(CostKind::ResultBuild, 1);
@@ -84,8 +142,6 @@ impl Operator for StaticJoinOperator {
                 }
             }
         }
-        ctx.metrics
-            .charge(CostKind::ProbePair, self.relation.len() as u64);
         ctx.metrics.stats.predicate_evals += evals;
         ctx.metrics.charge(CostKind::PredicateEval, evals);
         OperatorOutput::with_results(results)
@@ -147,6 +203,14 @@ mod tests {
     #[test]
     fn no_match_no_results() {
         let mut op = operator();
+        let mut metrics = RunMetrics::new();
+        let mut ctx = OpContext::new(Timestamp::from_millis(10), &mut metrics);
+        let out = op.process(0, &stream_msg(7), &mut ctx);
+        assert!(out.results.is_empty());
+        // The hash partition for value 7 is empty — no pairs examined.
+        assert_eq!(metrics.stats.probe_pairs, 0);
+        // The scan baseline examines the whole relation.
+        let mut op = operator().with_state_index(crate::state::StateIndexMode::Scan);
         let mut metrics = RunMetrics::new();
         let mut ctx = OpContext::new(Timestamp::from_millis(10), &mut metrics);
         let out = op.process(0, &stream_msg(7), &mut ctx);

@@ -14,7 +14,11 @@ use std::time::Instant;
 /// The elementary operations charged by the cost model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CostKind {
-    /// Examining one stored tuple while probing a state (nested-loop step).
+    /// Examining one *candidate* stored tuple while probing a state: every
+    /// live tuple under a nested-loop scan, only the hash partition (plus
+    /// unindexable overflow) under indexed states. Charged once per
+    /// candidate actually examined, in lock-step with the `probe_pairs`
+    /// statistic.
     ProbePair,
     /// Evaluating one equi-join or filter predicate.
     PredicateEval,

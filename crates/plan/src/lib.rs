@@ -21,7 +21,10 @@ pub mod cql;
 pub mod runtime;
 pub mod shapes;
 
-pub use builder::{build_eddy_plan, build_mjoin_plan, build_tree_plan};
+pub use builder::{
+    build_eddy_plan, build_eddy_plan_with, build_mjoin_plan, build_mjoin_plan_with,
+    build_tree_plan, build_tree_plan_with, PlanOptions,
+};
 pub use cql::{parse_cql, CqlQuery};
 pub use runtime::{QueryRuntime, RunOutcome};
 pub use shapes::{JoinNode, PlanInput, PlanShape, TreeShape};

@@ -44,6 +44,7 @@ pub mod prelude {
     pub use jit_engine::{Backend, Engine, EngineBuilder, EngineError, EngineOutcome, Session};
     pub use jit_exec::executor::{Executor, ExecutorConfig};
     pub use jit_exec::output;
+    pub use jit_exec::state::{JoinKeySpec, StateIndexMode};
     pub use jit_harness::config::ExperimentConfig;
     pub use jit_harness::figures::{run_figure, FigureSpec};
     pub use jit_harness::parallel::{parallel_workload, run_parallel, run_parallel_trace};

@@ -1,0 +1,96 @@
+//! Parse → engine → results round-trip for CQL constant filters
+//! (`A.x > 200`): previously rejected with `Unsupported`, now wired into
+//! tree plans as per-source selection operators.
+
+use jit_dsms::prelude::*;
+use std::sync::Arc;
+
+fn base(source: u16, seq: u64, ts_ms: u64, val: i64) -> Arc<BaseTuple> {
+    Arc::new(BaseTuple::new(
+        SourceId(source),
+        seq,
+        Timestamp::from_millis(ts_ms),
+        vec![Value::int(val)],
+    ))
+}
+
+fn run_query(cql: &str, sharded: bool) -> EngineOutcome {
+    let mut builder = Engine::builder().query_cql(cql);
+    if sharded {
+        // A.x = B.x is key-equality on column 0, statically shardable.
+        builder = builder.sharded(RuntimeConfig::with_shards(2));
+    }
+    let engine = builder.build().expect("filtered CQL builds");
+    let mut session = engine.session().expect("session opens");
+    // Pairs (A, B) with equal values v = 1..=10 at increasing timestamps:
+    // only v > 5 survives the filter, so exactly 5 joins remain.
+    for v in 1..=10i64 {
+        let ts = v as u64 * 1_000;
+        session.push(SourceId(0), base(0, v as u64, ts, v)).unwrap();
+        session
+            .push(SourceId(1), base(1, v as u64, ts + 10, v))
+            .unwrap();
+    }
+    session.finish().expect("run finishes")
+}
+
+#[test]
+fn filtered_cql_builds_and_filters_results() {
+    let cql = "SELECT * FROM A [RANGE 5 minutes], B [RANGE 5 minutes] \
+               WHERE A.x = B.x AND A.x > 5";
+    let outcome = run_query(cql, false);
+    assert_eq!(outcome.results_count, 5);
+    for result in &outcome.results {
+        assert_eq!(result.num_parts(), 2);
+        let a_val = result
+            .value(ColumnRef::new(SourceId(0), 0))
+            .expect("A component present");
+        assert!(*a_val > Value::int(5), "filter must hold on every result");
+    }
+    // The same query without the filter keeps all ten joins.
+    let unfiltered = run_query(
+        "SELECT * FROM A [RANGE 5 minutes], B [RANGE 5 minutes] WHERE A.x = B.x",
+        false,
+    );
+    assert_eq!(unfiltered.results_count, 10);
+}
+
+#[test]
+fn filtered_cql_runs_on_the_sharded_backend() {
+    let cql = "SELECT * FROM A [RANGE 5 minutes], B [RANGE 5 minutes] \
+               WHERE A.x = B.x AND A.x > 5";
+    let single = run_query(cql, false);
+    let sharded = run_query(cql, true);
+    assert_eq!(single.results_count, sharded.results_count);
+    assert_eq!(single.results, sharded.results);
+}
+
+#[test]
+fn filters_on_both_sources_compose() {
+    // A.x > 2 AND B.x < 8 leaves v in 3..=7: five joins.
+    let cql = "SELECT * FROM A [RANGE 5 minutes], B [RANGE 5 minutes] \
+               WHERE A.x = B.x AND A.x > 2 AND B.x < 8";
+    let outcome = run_query(cql, false);
+    assert_eq!(outcome.results_count, 5);
+}
+
+#[test]
+fn filtered_cql_works_in_jit_mode() {
+    let cql = "SELECT * FROM A [RANGE 5 minutes], B [RANGE 5 minutes] \
+               WHERE A.x = B.x AND A.x > 5";
+    let engine = Engine::builder()
+        .query_cql(cql)
+        .mode(ExecutionMode::Jit(JitPolicy::full()))
+        .build()
+        .expect("JIT filtered engine builds");
+    let mut session = engine.session().unwrap();
+    for v in 1..=10i64 {
+        let ts = v as u64 * 1_000;
+        session.push(SourceId(0), base(0, v as u64, ts, v)).unwrap();
+        session
+            .push(SourceId(1), base(1, v as u64, ts + 10, v))
+            .unwrap();
+    }
+    let outcome = session.finish().unwrap();
+    assert_eq!(outcome.results_count, 5);
+}
