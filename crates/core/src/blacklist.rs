@@ -9,7 +9,9 @@
 //! moved back and joined only with the opposite tuples they have not been
 //! joined with yet.
 
+use jit_exec::state::StateIndexMode;
 use jit_types::{ColumnRef, Signature, Timestamp, Tuple, TupleKey, Window};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Whether an entry suppresses production entirely or only marks it.
@@ -69,11 +71,38 @@ impl BlacklistEntry {
 }
 
 /// The blacklist attached to one operator state.
+///
+/// # The index layer
+///
+/// Every arrival is probed against the blacklist (the producer-side
+/// diversion check), so a linear scan over the entries is a per-arrival
+/// cost term. Under [`StateIndexMode::Hashed`] (the default) the blacklist
+/// keeps three hash indexes over its entries — by MNS identity, by the
+/// identity of the MNS's first component (a super-tuple must carry that
+/// component), and by signature over each distinct signature-column set —
+/// so [`Blacklist::matching_entry`] examines only the candidate entries.
+/// Candidates are verified with [`BlacklistEntry::captures`] in ascending
+/// entry order, which makes the hashed lookup return exactly the entry the
+/// historical linear scan would have found. [`StateIndexMode::Scan`]
+/// restores the linear scan itself. Neither mode changes the analytical
+/// byte accounting: index bookkeeping is not charged, mirroring
+/// [`jit_exec::state::OperatorState`].
 #[derive(Debug, Clone, Default)]
 pub struct Blacklist {
     name: String,
     entries: Vec<BlacklistEntry>,
     bytes: usize,
+    mode: StateIndexMode,
+    /// MNS identity → entry index (all entries).
+    by_key: HashMap<TupleKey, usize>,
+    /// Indices of entries whose MNS is Ø (they capture every tuple).
+    empty_entries: Vec<usize>,
+    /// Non-empty entries keyed by the identity of their MNS's first
+    /// component: any super-tuple of the MNS carries that component.
+    by_component: HashMap<(u16, u64), Vec<usize>>,
+    /// Similar-capture entries grouped by signature column set, then by the
+    /// MNS's signature on those columns.
+    by_signature: HashMap<Vec<ColumnRef>, HashMap<Signature, Vec<usize>>>,
 }
 
 impl Blacklist {
@@ -81,8 +110,56 @@ impl Blacklist {
     pub fn new(name: impl Into<String>) -> Self {
         Blacklist {
             name: name.into(),
-            entries: Vec::new(),
-            bytes: 0,
+            ..Blacklist::default()
+        }
+    }
+
+    /// Select how [`Blacklist::matching_entry`] and
+    /// [`Blacklist::entry_index`] answer probes (default
+    /// [`StateIndexMode::Hashed`]). The two modes return identical entries;
+    /// only the number of entries examined differs.
+    pub fn set_index_mode(&mut self, mode: StateIndexMode) {
+        self.mode = mode;
+    }
+
+    /// The probing mode in effect.
+    pub fn index_mode(&self) -> StateIndexMode {
+        self.mode
+    }
+
+    /// File entry `idx` in the hash indexes.
+    fn index_entry(&mut self, idx: usize) {
+        let entry = &self.entries[idx];
+        self.by_key.insert(entry.mns.key(), idx);
+        if entry.mns.is_empty() {
+            self.empty_entries.push(idx);
+        } else {
+            let first = &entry.mns.parts()[0];
+            self.by_component
+                .entry((first.source.0, first.seq))
+                .or_default()
+                .push(idx);
+            if !entry.signature_columns.is_empty() {
+                self.by_signature
+                    .entry(entry.signature_columns.clone())
+                    .or_default()
+                    .entry(entry.signature.clone())
+                    .or_default()
+                    .push(idx);
+            }
+        }
+    }
+
+    /// Rebuild every hash index from scratch (entry indices shift whenever
+    /// an entry is removed; removals are rare feedback events, probes are
+    /// per-arrival, so the O(entries) rebuild is the cheap side).
+    fn reindex(&mut self) {
+        self.by_key.clear();
+        self.empty_entries.clear();
+        self.by_component.clear();
+        self.by_signature.clear();
+        for idx in 0..self.entries.len() {
+            self.index_entry(idx);
         }
     }
 
@@ -118,6 +195,9 @@ impl Blacklist {
 
     /// Index of the entry for an MNS, if present.
     pub fn entry_index(&self, key: &TupleKey) -> Option<usize> {
+        if self.mode == StateIndexMode::Hashed {
+            return self.by_key.get(key).copied();
+        }
         self.entries.iter().position(|e| &e.mns.key() == key)
     }
 
@@ -146,7 +226,9 @@ impl Blacklist {
             suspended_at: now,
             tuples: Vec::new(),
         });
-        self.entries.len() - 1
+        let idx = self.entries.len() - 1;
+        self.index_entry(idx);
+        idx
     }
 
     /// Add a suspended tuple to an entry.
@@ -159,10 +241,36 @@ impl Blacklist {
     }
 
     /// The first entry that captures an arriving tuple, if any.
+    ///
+    /// Under [`StateIndexMode::Hashed`] only the candidate entries surfaced
+    /// by the hash indexes are verified (ascending, so the entry returned is
+    /// exactly the linear scan's first match); under
+    /// [`StateIndexMode::Scan`] every entry is examined in order.
     pub fn matching_entry(&self, tuple: &Tuple, allow_similar: bool) -> Option<usize> {
-        self.entries
-            .iter()
-            .position(|e| e.captures(tuple, allow_similar))
+        if self.mode == StateIndexMode::Scan {
+            return self
+                .entries
+                .iter()
+                .position(|e| e.captures(tuple, allow_similar));
+        }
+        let mut candidates: Vec<usize> = self.empty_entries.clone();
+        for part in tuple.parts() {
+            if let Some(idxs) = self.by_component.get(&(part.source.0, part.seq)) {
+                candidates.extend_from_slice(idxs);
+            }
+        }
+        if allow_similar {
+            for (cols, groups) in &self.by_signature {
+                if let Some(idxs) = groups.get(&Signature::of(tuple, cols)) {
+                    candidates.extend_from_slice(idxs);
+                }
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates
+            .into_iter()
+            .find(|&idx| self.entries[idx].captures(tuple, allow_similar))
     }
 
     /// Remove and return the entry for an MNS (resumption).
@@ -175,6 +283,7 @@ impl Blacklist {
             .iter()
             .map(|t| t.tuple.size_bytes())
             .sum::<usize>();
+        self.reindex();
         Some(entry)
     }
 
@@ -195,6 +304,7 @@ impl Blacklist {
                 }
             });
         }
+        let before = self.entries.len();
         self.entries.retain(|e| {
             let dead =
                 e.tuples.is_empty() && !e.mns.is_empty() && window.is_expired(e.mns.ts(), now);
@@ -203,6 +313,9 @@ impl Blacklist {
             }
             !dead
         });
+        if self.entries.len() != before {
+            self.reindex();
+        }
         self.bytes -= freed;
         removed
     }
@@ -329,6 +442,92 @@ mod tests {
         assert_eq!(bl.entries()[idx].mode, SuspendMode::Mark);
         bl.upsert_entry(a1.clone(), sig_cols(), SuspendMode::Suspend, a1.ts());
         assert_eq!(bl.entries()[idx].mode, SuspendMode::Suspend);
+    }
+
+    /// The hashed index and the linear scan must pick the same entry for
+    /// every probe, across upserts, removals and purges.
+    #[test]
+    fn hashed_and_scan_agree_on_matching_entry() {
+        let mut hashed = Blacklist::new("H");
+        let mut scan = Blacklist::new("S");
+        scan.set_index_mode(StateIndexMode::Scan);
+        assert_eq!(hashed.index_mode(), StateIndexMode::Hashed);
+        assert_eq!(scan.index_mode(), StateIndexMode::Scan);
+        // A mix of entries: several signatures, one signature-less entry,
+        // and the Ø entry added last (so earlier entries win first-match).
+        let mnss: Vec<Tuple> = (0..6)
+            .map(|i| tup(0, i + 1, i * 1_000, &[i as i64, (i % 3) as i64 * 100]))
+            .collect();
+        for (i, mns) in mnss.iter().enumerate() {
+            let cols = if i == 3 { vec![] } else { sig_cols() };
+            let mode = if i % 2 == 0 {
+                SuspendMode::Suspend
+            } else {
+                SuspendMode::Mark
+            };
+            hashed.upsert_entry(mns.clone(), cols.clone(), mode, mns.ts());
+            scan.upsert_entry(mns.clone(), cols, mode, mns.ts());
+        }
+        hashed.upsert_entry(
+            Tuple::empty(),
+            vec![],
+            SuspendMode::Suspend,
+            Timestamp::ZERO,
+        );
+        scan.upsert_entry(
+            Tuple::empty(),
+            vec![],
+            SuspendMode::Suspend,
+            Timestamp::ZERO,
+        );
+        let probes: Vec<Tuple> = (0..12)
+            .map(|i| tup(0, 20 + i, 5_000, &[i as i64 / 2, (i % 4) as i64 * 100]))
+            .chain(mnss.iter().cloned())
+            .collect();
+        for allow_similar in [false, true] {
+            for p in &probes {
+                assert_eq!(
+                    hashed.matching_entry(p, allow_similar),
+                    scan.matching_entry(p, allow_similar),
+                    "probe {p} similar={allow_similar}"
+                );
+            }
+        }
+        for mns in &mnss {
+            assert_eq!(hashed.entry_index(&mns.key()), scan.entry_index(&mns.key()));
+        }
+        // Remove an entry (indices shift) and re-check agreement.
+        hashed.remove_entry(&mnss[1].key());
+        scan.remove_entry(&mnss[1].key());
+        // Purge the oldest entries (indices shift again).
+        hashed.purge(window(), Timestamp::from_millis(62_000));
+        scan.purge(window(), Timestamp::from_millis(62_000));
+        assert_eq!(hashed.num_entries(), scan.num_entries());
+        for allow_similar in [false, true] {
+            for p in &probes {
+                assert_eq!(
+                    hashed.matching_entry(p, allow_similar),
+                    scan.matching_entry(p, allow_similar),
+                    "post-removal probe {p} similar={allow_similar}"
+                );
+            }
+        }
+    }
+
+    /// A super-tuple probe (components from several sources) is found via
+    /// the component index.
+    #[test]
+    fn hashed_lookup_finds_entry_for_supertuple_probe() {
+        let mut bl = Blacklist::new("B");
+        let a1 = tup(0, 1, 1_000, &[7, 100]);
+        bl.upsert_entry(a1.clone(), sig_cols(), SuspendMode::Suspend, a1.ts());
+        let b = tup(1, 9, 1_500, &[7]);
+        let a1b = a1.join(&b).unwrap();
+        assert_eq!(bl.matching_entry(&a1b, false), Some(0));
+        // A composite that does not contain a1 is not captured.
+        let a2 = tup(0, 2, 1_000, &[7, 999]);
+        let a2b = a2.join(&b).unwrap();
+        assert_eq!(bl.matching_entry(&a2b, false), None);
     }
 
     #[test]

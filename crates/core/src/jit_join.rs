@@ -43,7 +43,8 @@ use crate::lattice::CnsLattice;
 use crate::mns_buffer::MnsBuffer;
 use crate::policy::{JitPolicy, MnsDetection};
 use jit_exec::operator::{
-    DataMessage, FeedbackOutcome, OpContext, Operator, OperatorOutput, Port, LEFT, RIGHT,
+    DataMessage, FeedbackOutcome, OpContext, Operator, OperatorOutput, Port, SuppressionDigest,
+    LEFT, RIGHT,
 };
 use jit_exec::state::{JoinKeySpec, OperatorState, StateIndexMode};
 use jit_metrics::CostKind;
@@ -172,17 +173,24 @@ impl JitJoinOperator {
         }
     }
 
-    /// Select how the two operator states answer probes (default
-    /// [`StateIndexMode::Hashed`]).
+    /// Select how the two operator states, MNS buffers and blacklists
+    /// answer probes (default [`StateIndexMode::Hashed`]).
     ///
     /// Under the hashed mode the consumer probe, the lattice-based MNS
-    /// detection and `Resume_Production`'s regeneration probe all go through
-    /// the state's hash indexes; [`StateIndexMode::Scan`] restores the
-    /// historical nested-loop behaviour (the two are result- and
-    /// feedback-equivalent, see the equivalence suite).
+    /// detection, `Resume_Production`'s regeneration probe, the MNS-buffer
+    /// match and the blacklist diversion check all go through hash indexes;
+    /// [`StateIndexMode::Scan`] restores the historical nested-loop
+    /// behaviour (the two are result- and feedback-equivalent, see the
+    /// equivalence suite).
     pub fn with_state_index(mut self, mode: StateIndexMode) -> Self {
         for state in &mut self.states {
             state.set_index_mode(mode);
+        }
+        for buffer in &mut self.mns_buffers {
+            buffer.set_index_mode(mode);
+        }
+        for blacklist in &mut self.blacklists {
+            blacklist.set_index_mode(mode);
         }
         self
     }
@@ -944,6 +952,16 @@ impl Operator for JitJoinOperator {
                 .chain(self.blooms[RIGHT].values())
                 .map(|b| b.size_bytes())
                 .sum::<usize>()
+    }
+
+    fn suppression_digest(&self) -> SuppressionDigest {
+        let mut digest = SuppressionDigest::default();
+        for side in [LEFT, RIGHT] {
+            for entry in self.blacklists[side].entries() {
+                digest.add(entry.signature_columns.clone(), entry.signature.clone());
+            }
+        }
+        digest
     }
 }
 

@@ -5,8 +5,10 @@
 //! the MNS buffer." A match removes the MNS and triggers a resumption
 //! feedback to the producer.
 
+use jit_exec::state::{JoinKeySpec, StateIndexMode};
 use jit_metrics::{CostKind, RunMetrics};
-use jit_types::{PredicateSet, Timestamp, Tuple, TupleKey, Window};
+use jit_types::{PredicateSet, SourceSet, Timestamp, Tuple, TupleKey, Value, Window};
+use std::collections::HashMap;
 
 /// One buffered MNS.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,12 +19,56 @@ pub struct MnsEntry {
     pub detected_at: Timestamp,
 }
 
+/// Candidate entries for probes of one MNS-coverage class, keyed on the
+/// equi-join key between that coverage and the probing tuples' sources —
+/// the [`JoinKeySpec`] machinery of `state.rs` generalised to the buffer.
+#[derive(Debug, Clone)]
+struct ProbeGroup {
+    /// The source coverage shared by the group's entries.
+    coverage: SourceSet,
+    /// The stored/probe key pairing for this coverage.
+    spec: JoinKeySpec,
+    /// Stored-key values → entry positions, ascending.
+    buckets: HashMap<Vec<Value>, Vec<usize>>,
+    /// Positions that cannot be keyed (Ø, empty spec, overlapping sources
+    /// or missing key columns); always examined.
+    overflow: Vec<usize>,
+    /// All positions in the group, ascending (missing-probe-key fallback).
+    all: Vec<usize>,
+}
+
+/// Lazily built candidate index for one probe shape (Hashed mode only).
+#[derive(Debug, Clone)]
+struct ProbeCache {
+    /// The probing tuples' source coverage the cache was built for.
+    probe_sources: SourceSet,
+    groups: Vec<ProbeGroup>,
+}
+
 /// A buffer of detected MNSs for one input side of a consumer.
+///
+/// # The index layer
+///
+/// Every arrival probes the opposite MNS buffer, so the historical
+/// entry-by-entry scan of [`MnsBuffer::take_matching`] is a per-arrival
+/// cost term. Under [`StateIndexMode::Hashed`] (the default) the buffer
+/// lazily builds, per probe shape actually observed, a hash index over the
+/// entries' equi-join key values — the same [`JoinKeySpec`] discipline as
+/// [`jit_exec::state::OperatorState`] — and examines only the candidate
+/// entries. Matched MNSs, their order and all removals are identical in
+/// both modes; only the number of entries examined (the
+/// `mns_buffer_probes` statistic and [`CostKind::MnsBufferProbe`] charge)
+/// shrinks. [`StateIndexMode::Scan`] restores the historical scan,
+/// charges included.
 #[derive(Debug, Clone, Default)]
 pub struct MnsBuffer {
     name: String,
     entries: Vec<MnsEntry>,
     bytes: usize,
+    mode: StateIndexMode,
+    /// MNS identity → entry position (kept in sync across removals).
+    by_key: HashMap<TupleKey, usize>,
+    cache: Option<ProbeCache>,
 }
 
 impl MnsBuffer {
@@ -30,9 +76,102 @@ impl MnsBuffer {
     pub fn new(name: impl Into<String>) -> Self {
         MnsBuffer {
             name: name.into(),
-            entries: Vec::new(),
-            bytes: 0,
+            ..MnsBuffer::default()
         }
+    }
+
+    /// Select how [`MnsBuffer::take_matching`] answers probes (default
+    /// [`StateIndexMode::Hashed`]). Matched MNSs are identical in both
+    /// modes; only the probe count charged differs.
+    pub fn set_index_mode(&mut self, mode: StateIndexMode) {
+        self.mode = mode;
+        self.cache = None;
+    }
+
+    /// The probing mode in effect.
+    pub fn index_mode(&self) -> StateIndexMode {
+        self.mode
+    }
+
+    /// Rebuild the identity map and drop the probe cache after any removal
+    /// (entry positions shift; matches and expiries are rare next to
+    /// probes, so the O(entries) rebuild is the cheap side).
+    fn reindex(&mut self) {
+        self.by_key.clear();
+        for (pos, e) in self.entries.iter().enumerate() {
+            self.by_key.insert(e.mns.key(), pos);
+        }
+        self.cache = None;
+    }
+
+    /// Make sure the probe cache answers for probes covering
+    /// `probe_sources` under `predicates`, rebuilding it if the probe
+    /// shape (or the predicate-derived key pairing) changed.
+    fn ensure_cache(&mut self, predicates: &PredicateSet, probe_sources: SourceSet) {
+        if let Some(cache) = &self.cache {
+            if cache.probe_sources == probe_sources
+                && cache
+                    .groups
+                    .iter()
+                    .all(|g| g.spec == JoinKeySpec::between(predicates, g.coverage, probe_sources))
+            {
+                return;
+            }
+        }
+        let mut groups: Vec<ProbeGroup> = Vec::new();
+        for (pos, entry) in self.entries.iter().enumerate() {
+            let coverage = entry.mns.sources();
+            let group = match groups.iter_mut().find(|g| g.coverage == coverage) {
+                Some(g) => g,
+                None => {
+                    groups.push(ProbeGroup {
+                        coverage,
+                        spec: JoinKeySpec::between(predicates, coverage, probe_sources),
+                        buckets: HashMap::new(),
+                        overflow: Vec::new(),
+                        all: Vec::new(),
+                    });
+                    groups.last_mut().expect("just pushed")
+                }
+            };
+            group.all.push(pos);
+            // Only fully keyed entries of a disjoint coverage can be
+            // excluded by a bucket miss; everything else stays scanned.
+            let keyed = !group.spec.is_empty() && coverage.is_disjoint(probe_sources);
+            match group.spec.stored_key(&entry.mns) {
+                Some(key) if keyed => group.buckets.entry(key).or_default().push(pos),
+                _ => group.overflow.push(pos),
+            }
+        }
+        self.cache = Some(ProbeCache {
+            probe_sources,
+            groups,
+        });
+    }
+
+    /// The candidate entry positions for `tuple`, ascending: per group, the
+    /// probe key's bucket plus the overflow list, or the whole group when
+    /// no key can be formed. A non-candidate entry is fully keyed with a
+    /// differing key value, so some spanning predicate evaluates to false —
+    /// candidates are exactly a superset of the matches.
+    fn candidates(&self, tuple: &Tuple) -> Vec<usize> {
+        let cache = self.cache.as_ref().expect("ensure_cache called");
+        let mut cand = Vec::new();
+        for g in &cache.groups {
+            if g.spec.is_empty() {
+                cand.extend_from_slice(&g.all);
+            } else if let Some(key) = g.spec.probe_key(tuple) {
+                if let Some(bucket) = g.buckets.get(&key) {
+                    cand.extend_from_slice(bucket);
+                }
+                cand.extend_from_slice(&g.overflow);
+            } else {
+                cand.extend_from_slice(&g.all);
+            }
+        }
+        cand.sort_unstable();
+        cand.dedup();
+        cand
     }
 
     /// The buffer's diagnostic name.
@@ -57,8 +196,7 @@ impl MnsBuffer {
 
     /// Is an MNS with the same component identity already buffered?
     pub fn contains(&self, mns: &Tuple) -> bool {
-        let key = mns.key();
-        self.entries.iter().any(|e| e.mns.key() == key)
+        self.by_key.contains_key(&mns.key())
     }
 
     /// Buffer a newly detected MNS (ignored if an identical one is present).
@@ -68,6 +206,8 @@ impl MnsBuffer {
             return false;
         }
         self.bytes += mns.size_bytes();
+        self.by_key.insert(mns.key(), self.entries.len());
+        self.cache = None;
         self.entries.push(MnsEntry {
             mns,
             detected_at: now,
@@ -99,6 +239,9 @@ impl MnsBuffer {
                 true
             }
         });
+        if !expired.is_empty() {
+            self.reindex();
+        }
         self.bytes -= freed;
         expired
     }
@@ -116,24 +259,55 @@ impl MnsBuffer {
         window: Window,
         metrics: &mut RunMetrics,
     ) -> Vec<Tuple> {
+        let is_match = |entry: &MnsEntry| {
+            entry.mns.is_empty()
+                || (window.can_join(entry.mns.ts(), tuple.ts())
+                    && predicates.matches(&entry.mns, tuple))
+        };
         let mut matched = Vec::new();
-        let mut kept = Vec::with_capacity(self.entries.len());
         let mut probes = 0u64;
-        for entry in self.entries.drain(..) {
-            probes += 1;
-            let is_match = if entry.mns.is_empty() {
-                true
-            } else {
-                window.can_join(entry.mns.ts(), tuple.ts()) && predicates.matches(&entry.mns, tuple)
-            };
-            if is_match {
-                self.bytes -= entry.mns.size_bytes();
-                matched.push(entry.mns);
-            } else {
-                kept.push(entry);
+        if self.mode == StateIndexMode::Hashed {
+            self.ensure_cache(predicates, tuple.sources());
+            let mut matched_pos = Vec::new();
+            for pos in self.candidates(tuple) {
+                probes += 1;
+                if is_match(&self.entries[pos]) {
+                    matched_pos.push(pos);
+                }
+            }
+            if !matched_pos.is_empty() {
+                // Positions are ascending, so matched MNSs come out in
+                // entry order — exactly the scan's output order.
+                let mut kept = Vec::with_capacity(self.entries.len() - matched_pos.len());
+                let mut next = 0usize;
+                for (pos, entry) in std::mem::take(&mut self.entries).into_iter().enumerate() {
+                    if matched_pos.get(next) == Some(&pos) {
+                        next += 1;
+                        self.bytes -= entry.mns.size_bytes();
+                        matched.push(entry.mns);
+                    } else {
+                        kept.push(entry);
+                    }
+                }
+                self.entries = kept;
+                self.reindex();
+            }
+        } else {
+            let mut kept = Vec::with_capacity(self.entries.len());
+            for entry in self.entries.drain(..) {
+                probes += 1;
+                if is_match(&entry) {
+                    self.bytes -= entry.mns.size_bytes();
+                    matched.push(entry.mns);
+                } else {
+                    kept.push(entry);
+                }
+            }
+            self.entries = kept;
+            if !matched.is_empty() {
+                self.reindex();
             }
         }
-        self.entries = kept;
         metrics.stats.mns_buffer_probes += probes;
         metrics.charge(CostKind::MnsBufferProbe, probes);
         matched
@@ -153,7 +327,12 @@ impl MnsBuffer {
             }
         });
         self.bytes -= freed;
-        before != self.entries.len()
+        if before != self.entries.len() {
+            self.reindex();
+            true
+        } else {
+            false
+        }
     }
 
     /// Iterate over buffered entries.
@@ -199,15 +378,87 @@ mod tests {
         let preds = PredicateSet::clique(2);
         let mut metrics = RunMetrics::new();
         let mut b = MnsBuffer::new("NB");
+        b.set_index_mode(StateIndexMode::Scan);
         b.insert(tup(0, 1, 0, &[5]), Timestamp::ZERO);
         b.insert(tup(0, 2, 0, &[9]), Timestamp::ZERO);
-        // A B tuple with value 5 matches the first MNS only.
+        // A B tuple with value 5 matches the first MNS only; the scan
+        // charges one probe per buffered entry.
         let probe = tup(1, 1, 1_000, &[5]);
         let matched = b.take_matching(&probe, &preds, window(), &mut metrics);
         assert_eq!(matched.len(), 1);
         assert_eq!(matched[0].parts()[0].seq, 1);
         assert_eq!(b.len(), 1);
         assert_eq!(metrics.stats.mns_buffer_probes, 2);
+    }
+
+    #[test]
+    fn hashed_probe_charges_only_candidates() {
+        let preds = PredicateSet::clique(2);
+        let mut metrics = RunMetrics::new();
+        let mut b = MnsBuffer::new("NB");
+        assert_eq!(b.index_mode(), StateIndexMode::Hashed);
+        b.insert(tup(0, 1, 0, &[5]), Timestamp::ZERO);
+        b.insert(tup(0, 2, 0, &[9]), Timestamp::ZERO);
+        // The hashed probe examines only the key-5 bucket: one candidate.
+        let probe = tup(1, 1, 1_000, &[5]);
+        let matched = b.take_matching(&probe, &preds, window(), &mut metrics);
+        assert_eq!(matched.len(), 1);
+        assert_eq!(matched[0].parts()[0].seq, 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(metrics.stats.mns_buffer_probes, 1);
+        // A key matching nothing examines no entries at all.
+        let matched = b.take_matching(&tup(1, 2, 1_000, &[7]), &preds, window(), &mut metrics);
+        assert!(matched.is_empty());
+        assert_eq!(metrics.stats.mns_buffer_probes, 1);
+    }
+
+    /// Hashed and scan buffers must return identical matches, in identical
+    /// order, across interleaved inserts, probes, expiries and removals.
+    #[test]
+    fn hashed_and_scan_agree_on_matches() {
+        let preds = PredicateSet::clique(3);
+        let mut metrics = RunMetrics::new();
+        let mut hashed = MnsBuffer::new("H");
+        let mut scan = MnsBuffer::new("S");
+        scan.set_index_mode(StateIndexMode::Scan);
+        // MNSs from two sources plus the Ø MNS, with clashing key values.
+        let mut seed: Vec<Tuple> = Vec::new();
+        for i in 0..8u64 {
+            seed.push(tup(
+                (i % 2) as u16,
+                i,
+                i * 100,
+                &[(i % 3) as i64, (i % 4) as i64],
+            ));
+        }
+        seed.push(Tuple::empty());
+        for m in &seed {
+            assert_eq!(
+                hashed.insert(m.clone(), m.ts()),
+                scan.insert(m.clone(), m.ts())
+            );
+        }
+        // Probe from source 2 (joins both stored sources via the clique).
+        for key in 0..4i64 {
+            let probe = tup(2, 100 + key as u64, 500, &[key, key]);
+            let h = hashed.take_matching(&probe, &preds, window(), &mut metrics);
+            let s = scan.take_matching(&probe, &preds, window(), &mut metrics);
+            assert_eq!(
+                h.iter().map(Tuple::key).collect::<Vec<_>>(),
+                s.iter().map(Tuple::key).collect::<Vec<_>>(),
+                "key {key}"
+            );
+            assert_eq!(hashed.len(), scan.len());
+            assert_eq!(hashed.size_bytes(), scan.size_bytes());
+        }
+        assert_eq!(
+            hashed.take_expired(window(), Timestamp::from_millis(61_000)),
+            scan.take_expired(window(), Timestamp::from_millis(61_000))
+        );
+        for m in &seed {
+            assert_eq!(hashed.remove(&m.key()), scan.remove(&m.key()));
+        }
+        assert!(hashed.is_empty() && scan.is_empty());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 use crate::error::EngineError;
 use jit_exec::executor::Executor;
+use jit_exec::operator::SuppressionDigest;
 use jit_metrics::MetricsSnapshot;
 use jit_runtime::{ShardOutcome, ShardedSession};
 use jit_stream::arrival::ArrivalEvent;
@@ -77,6 +78,17 @@ pub trait Backend {
     /// A live point-in-time metrics aggregate.
     fn metrics_snapshot(&mut self) -> MetricsSnapshot;
 
+    /// A digest of the suppression knowledge (blacklisted MNS signatures)
+    /// the plan currently holds — observational input to cross-query
+    /// reporting in the serving tier; never used to drop deliveries.
+    ///
+    /// The default is empty, which is always sound: a backend that cannot
+    /// cheaply aggregate its operators' blacklists (the sharded backend's
+    /// plans live on worker threads) simply reports no knowledge.
+    fn suppression_digest(&mut self) -> SuppressionDigest {
+        SuppressionDigest::default()
+    }
+
     /// End the stream: flush suppressed production to quiescence and return
     /// the outcome.
     fn finish(self: Box<Self>) -> Result<EngineOutcome, EngineError>;
@@ -109,6 +121,10 @@ impl Backend for SingleThreadBackend {
 
     fn metrics_snapshot(&mut self) -> MetricsSnapshot {
         self.executor.metrics().snapshot()
+    }
+
+    fn suppression_digest(&mut self) -> SuppressionDigest {
+        self.executor.suppression_digest()
     }
 
     fn finish(self: Box<Self>) -> Result<EngineOutcome, EngineError> {

@@ -2,6 +2,7 @@
 
 use crate::backend::{Backend, EngineOutcome};
 use crate::error::EngineError;
+use jit_exec::operator::SuppressionDigest;
 use jit_metrics::MetricsSnapshot;
 use jit_stream::arrival::ArrivalEvent;
 use jit_stream::Trace;
@@ -100,6 +101,13 @@ impl Session {
     /// so far.
     pub fn metrics_snapshot(&mut self) -> MetricsSnapshot {
         self.backend.metrics_snapshot()
+    }
+
+    /// The suppression knowledge the running plan currently holds (empty on
+    /// backends that cannot aggregate it, notably the sharded runtime). See
+    /// [`SuppressionDigest`].
+    pub fn suppression_digest(&mut self) -> SuppressionDigest {
+        self.backend.suppression_digest()
     }
 
     /// End the stream: flush suppressed production to quiescence

@@ -282,6 +282,16 @@ impl Executor {
         self.slots[id.0].operator.as_ref()
     }
 
+    /// The union of every operator's [`crate::operator::SuppressionDigest`] — the plan's
+    /// current suppression knowledge, for cross-pipeline reporting.
+    pub fn suppression_digest(&self) -> crate::operator::SuppressionDigest {
+        let mut digest = crate::operator::SuppressionDigest::default();
+        for slot in &self.slots {
+            digest.merge(&slot.operator.suppression_digest());
+        }
+        digest
+    }
+
     /// Finish the run: flush suppressed production, freeze the wall clock
     /// and return results + metrics.
     ///

@@ -180,7 +180,7 @@ fn valid_ident(name: &str) -> bool {
 }
 
 fn parse_from(text: &str) -> Result<Vec<(String, Duration)>, CqlError> {
-    let mut sources = Vec::new();
+    let mut sources: Vec<(String, Duration)> = Vec::new();
     for entry in text.split(',') {
         let entry = entry.trim();
         if entry.is_empty() {
@@ -204,7 +204,10 @@ fn parse_from(text: &str) -> Result<Vec<(String, Duration)>, CqlError> {
         // Duplicate names would silently re-bind every predicate mention to
         // the first declaration (name resolution is first-match), leaving
         // the second source unconstrained — a cross product, not a join.
-        if sources.iter().any(|(n, _)| n == &name) {
+        // The check is case-insensitive, like the keywords: `A` and `a` in
+        // one FROM clause are far more likely a typo than two streams, and
+        // cross-query canonicalization must not treat them as distinct.
+        if sources.iter().any(|(n, _)| n.eq_ignore_ascii_case(&name)) {
             return Err(err(format!("duplicate source {name} in FROM clause")));
         }
         sources.push((name, range));
@@ -399,6 +402,20 @@ mod tests {
         let e = parse_cql("SELECT * FROM A [RANGE 1 minutes], A [RANGE 1 minutes] WHERE A.x = A.x")
             .unwrap_err();
         assert!(e.to_string().contains("duplicate source A"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_sources_differing_only_in_case_are_rejected() {
+        // Keywords are case-insensitive, so `A` vs `a` in one FROM clause is
+        // treated as the same (duplicated) stream, not two sources.
+        let e = parse_cql("SELECT * FROM A [RANGE 1 minutes], a [RANGE 1 minutes] WHERE A.x = a.x")
+            .unwrap_err();
+        assert!(e.to_string().contains("duplicate source a"), "{e}");
+        // Distinct names that merely share a prefix still parse.
+        assert!(parse_cql(
+            "SELECT * FROM Ab [RANGE 1 minutes], AB2 [RANGE 1 minutes] WHERE Ab.x = AB2.x"
+        )
+        .is_ok());
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //!   (REF / DOE / JIT) into an executable plan of `jit-exec` operators.
 //! * [`cql`] — a small CQL-subset parser for queries like the one in
 //!   Figure 1a (`SELECT * FROM A [RANGE 5 minutes], … WHERE A.x = B.x …`).
+//! * [`canonical`] — resolves a parsed query against a global catalog and
+//!   normalizes it to a hashable [`canonical::CanonicalKey`], so a
+//!   multi-query serving tier can detect queries that denote the same
+//!   computation and share one pipeline between them.
 //! * [`runtime`] — [`runtime::QueryRuntime`] generates (or accepts) an
 //!   arrival trace and drives it through the plan, returning results and a
 //!   metrics snapshot; this is the entry point examples, tests and the
@@ -17,6 +21,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod builder;
+pub mod canonical;
 pub mod cql;
 pub mod runtime;
 pub mod shapes;
@@ -25,6 +30,7 @@ pub use builder::{
     build_eddy_plan, build_eddy_plan_with, build_mjoin_plan, build_mjoin_plan_with,
     build_tree_plan, build_tree_plan_with, PlanOptions,
 };
+pub use canonical::{CanonicalKey, CanonicalQuery, FilterTerm};
 pub use cql::{parse_cql, CqlQuery};
 pub use runtime::{QueryRuntime, RunOutcome};
 pub use shapes::{JoinNode, PlanInput, PlanShape, TreeShape};

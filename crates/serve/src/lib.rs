@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+//! Multi-query serving tier over the JIT engine.
+//!
+//! The single-query [`jit_engine::Engine`] answers "run *this* query over
+//! *this* stream". A data-stream *service* faces the plural problem: many
+//! standing queries, registered and cancelled at runtime, all fed by one
+//! arrival stream — and most of them overlapping heavily in sources,
+//! windows, predicates and filters. Processing each query in isolation
+//! multiplies every per-arrival cost by the number of registered queries.
+//!
+//! [`QueryRegistry`] is the shared-serving answer. Queries enter as CQL text
+//! ([`QueryRegistry::register`]) and leave at any time
+//! ([`QueryRegistry::deregister`]); every arrival is pushed **once**
+//! ([`QueryRegistry::push`]) and the registry routes it to exactly the work
+//! that needs it:
+//!
+//! * **Pipeline sharing** — queries are canonicalized
+//!   ([`jit_plan::CanonicalQuery`]) and queries with equal canonical keys
+//!   share one executing pipeline (one [`jit_engine::Session`]), however
+//!   their texts differ superficially. Results fan out to per-query
+//!   mailboxes ([`QueryRegistry::poll_results`]), so every subscriber still
+//!   observes its own complete result stream.
+//! * **Shared selection pushdown** — the constant-filter conjunction each
+//!   query applies to a source is deduplicated into a registry-wide class
+//!   index; an arrival is classified once per *distinct* class, not once per
+//!   query, and only pipelines whose class passed see the tuple.
+//! * **Shared window state (STeM cache)** — the per-source sliding windows
+//!   (the leaf STeMs of every plan, keyed by canonical sub-pattern: source,
+//!   window, filter class) are kept once in a refcounted
+//!   [`jit_exec::state::StateCache`] and maintained once per arrival,
+//!   whatever the number of subscribing queries. The cache also prices the
+//!   sharing: [`SharingReport::shared_state_bytes`] vs
+//!   [`SharingReport::isolated_state_bytes`].
+//! * **JIT cross-pollination** — suppression knowledge (blacklisted MNS
+//!   signatures) learned by one pipeline is collected as a
+//!   [`jit_exec::operator::SuppressionDigest`], rebased into the global
+//!   catalog's column space, and compared across sibling pipelines: overlap
+//!   and per-arrival pre-filter hits are *reported*
+//!   ([`QueryRegistry::suppression_overlap`],
+//!   [`SharingReport::cross_pollination_hits`]), never used to drop
+//!   deliveries — each query's results stay byte-identical to a dedicated
+//!   engine's.
+//!
+//! That last guarantee is the tier's contract: for every registered query,
+//! the result stream equals what an independent [`jit_engine::Engine`] would
+//! produce for the same query over the same arrivals (the
+//! `serving_equivalence` integration tests pin this on both backends).
+
+pub mod registry;
+pub mod selection;
+
+pub use registry::{QueryId, QueryRegistry, ServeError, ServeOptions, SharingReport};

@@ -1,0 +1,924 @@
+//! The query registry: many standing queries, one pushed stream.
+
+use crate::selection::{ClassId, SelectionIndex};
+use jit_core::ExecutionMode;
+use jit_engine::{Engine, EngineError, EngineOutcome, Session};
+use jit_exec::operator::SuppressionDigest;
+use jit_exec::state::{OperatorState, StateCache, StateIndexMode};
+use jit_metrics::MetricsSnapshot;
+use jit_plan::canonical::{CanonicalKey, CanonicalQuery, FilterTerm};
+use jit_plan::cql::CqlError;
+use jit_runtime::RuntimeConfig;
+use jit_types::{
+    BaseTuple, Catalog, ColumnRef, Signature, SourceId, Timestamp, Tuple, Value, Window,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Handle to one registered query, unique for the registry's lifetime
+/// (handles are never reused, even after [`QueryRegistry::deregister`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Q{}", self.0)
+    }
+}
+
+/// Errors surfaced by the serving tier.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The query text failed to parse or canonicalize against the catalog.
+    Cql(CqlError),
+    /// Building or driving the underlying engine failed.
+    Engine(EngineError),
+    /// The query id is not (or no longer) registered.
+    UnknownQuery(QueryId),
+    /// The source id is not in the registry's catalog, or the query does
+    /// not reference it.
+    UnknownSource(SourceId),
+    /// An arrival was pushed with a timestamp earlier than its predecessor.
+    OutOfOrder {
+        /// Timestamp of the offending arrival.
+        pushed: Timestamp,
+        /// Timestamp of the previous arrival.
+        last: Timestamp,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Cql(e) => write!(f, "query error: {e}"),
+            ServeError::Engine(e) => write!(f, "engine error: {e}"),
+            ServeError::UnknownQuery(q) => write!(f, "unknown query {q}"),
+            ServeError::UnknownSource(s) => write!(f, "unknown source {s}"),
+            ServeError::OutOfOrder { pushed, last } => {
+                write!(f, "out-of-order arrival: ts {pushed} after {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CqlError> for ServeError {
+    fn from(e: CqlError) -> Self {
+        ServeError::Cql(e)
+    }
+}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+/// Execution configuration shared by every pipeline the registry builds.
+///
+/// One registry runs all its pipelines under one mode / backend / state
+/// index, so the canonical key alone decides pipeline sharing.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Execution mode (REF / DOE / JIT). Default REF.
+    pub mode: ExecutionMode,
+    /// How operator states answer probes. Default hashed.
+    pub state_index: StateIndexMode,
+    /// `Some` runs every pipeline on the sharded multi-core backend.
+    pub runtime: Option<RuntimeConfig>,
+    /// Partition key column for the sharded backend. Default 0.
+    pub key_column: usize,
+    /// Assert data-level key-partitionability (see
+    /// [`jit_engine::EngineBuilder::assume_key_partitionable`]).
+    pub assume_partitionable: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            mode: ExecutionMode::Ref,
+            state_index: StateIndexMode::default(),
+            runtime: None,
+            key_column: 0,
+            assume_partitionable: false,
+        }
+    }
+}
+
+/// Identity of one shared leaf window state: the canonical sub-pattern
+/// (global source, window, filter class) every subscribing query agrees on.
+type StemKey = (SourceId, Window, Option<ClassId>);
+
+/// One executing pipeline: a session plus the queries subscribed to it.
+struct Pipeline {
+    canonical: CanonicalQuery,
+    session: Session,
+    subscribers: Vec<QueryId>,
+    /// Per local source: the selection class gating arrivals (None =
+    /// unfiltered source, everything passes).
+    class_of_local: Vec<Option<ClassId>>,
+    /// Per local source: the shared leaf-window cache key.
+    stem_keys: Vec<StemKey>,
+}
+
+/// Sharing counters accumulated by one registry.
+#[derive(Debug, Default, Clone)]
+struct SharingStats {
+    arrivals: u64,
+    routed: u64,
+    classifications_saved: u64,
+    cross_pollination_hits: u64,
+}
+
+/// A point-in-time account of how much work the serving tier is sharing.
+#[derive(Debug, Clone)]
+pub struct SharingReport {
+    /// Registered queries.
+    pub queries: usize,
+    /// Executing pipelines (≤ queries; the gap is pipeline sharing).
+    pub pipelines: usize,
+    /// Distinct live filter classes.
+    pub filter_classes: usize,
+    /// Arrivals pushed into the registry.
+    pub arrivals: u64,
+    /// Tuples actually delivered into pipelines (post-selection routing).
+    pub routed: u64,
+    /// Filter-class evaluations performed (once per distinct class).
+    pub classifications: u64,
+    /// Evaluations avoided versus classifying once per holder of a class.
+    pub classifications_saved: u64,
+    /// Bytes held in the shared leaf-window cache, counting each state once.
+    pub shared_state_bytes: usize,
+    /// Bytes the same windows would occupy if every holder kept its own
+    /// copy (refcount × bytes) — the isolated-serving baseline.
+    pub isolated_state_bytes: usize,
+    /// Arrivals matching a suppression signature learned by a *sibling*
+    /// pipeline (see [`QueryRegistry::refresh_suppression`]). Observational:
+    /// nothing is dropped.
+    pub cross_pollination_hits: u64,
+    /// Suppression signatures currently cached from the pipelines.
+    pub suppression_signatures: usize,
+}
+
+/// A registry of standing continuous queries over one shared stream.
+///
+/// See the crate docs for the sharing model. The registry enforces the same
+/// arrival contract as [`Session`]: tuples are pushed in non-decreasing
+/// timestamp order, with the *global* source id of the registry's catalog;
+/// each pipeline sees the arrival remapped to its own dense local id space
+/// (`FROM` position) over the unchanged value vector, so results come back
+/// with local source ids — source 0 is the query's first `FROM` entry.
+pub struct QueryRegistry {
+    catalog: Catalog,
+    options: ServeOptions,
+    /// Creation-ordered pipeline slots, tombstoned on removal so routing
+    /// order (and therefore result interleaving) is deterministic.
+    pipelines: Vec<Option<Pipeline>>,
+    by_key: HashMap<CanonicalKey, usize>,
+    /// Global source id → subscribed pipeline slots, ascending.
+    routes: HashMap<SourceId, Vec<usize>>,
+    queries: HashMap<QueryId, usize>,
+    mailboxes: HashMap<QueryId, Vec<Tuple>>,
+    selection: SelectionIndex,
+    stems: StateCache<StemKey>,
+    /// Per-pipeline suppression digests in global column space, as of the
+    /// last [`QueryRegistry::refresh_suppression`].
+    digests: Vec<(usize, SuppressionDigest)>,
+    stats: SharingStats,
+    next_query: u64,
+    /// Per-source sequence counters for [`QueryRegistry::push_values`].
+    seqs: HashMap<SourceId, u64>,
+    last_push_ts: Timestamp,
+}
+
+impl std::fmt::Debug for QueryRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryRegistry")
+            .field("queries", &self.queries.len())
+            .field("pipelines", &self.num_pipelines())
+            .field("arrivals", &self.stats.arrivals)
+            .finish()
+    }
+}
+
+impl QueryRegistry {
+    /// A registry over `catalog` with default (single-threaded REF)
+    /// execution.
+    pub fn new(catalog: Catalog) -> Self {
+        QueryRegistry::with_options(catalog, ServeOptions::default())
+    }
+
+    /// A registry with explicit execution options.
+    pub fn with_options(catalog: Catalog, options: ServeOptions) -> Self {
+        QueryRegistry {
+            catalog,
+            options,
+            pipelines: Vec::new(),
+            by_key: HashMap::new(),
+            routes: HashMap::new(),
+            queries: HashMap::new(),
+            mailboxes: HashMap::new(),
+            selection: SelectionIndex::new(),
+            stems: StateCache::new(),
+            digests: Vec::new(),
+            stats: SharingStats::default(),
+            next_query: 0,
+            seqs: HashMap::new(),
+            last_push_ts: Timestamp::ZERO,
+        }
+    }
+
+    /// The registry's global catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Register a CQL query; it sees every arrival pushed from now on.
+    ///
+    /// If an already-registered query canonicalizes to the same
+    /// [`CanonicalKey`], the new query joins its pipeline instead of
+    /// getting a fresh one. The two paths differ in what the new query
+    /// observes first:
+    ///
+    /// * **cold** (fresh pipeline) — the query sees only arrivals pushed
+    ///   after registration, exactly like a dedicated engine started now;
+    /// * **warm** (shared pipeline) — the query subscribes to a pipeline
+    ///   whose window state already holds the recent past, so its results
+    ///   may join post-registration arrivals with pre-registration tuples —
+    ///   exactly like a dedicated engine fed the full history, counting
+    ///   deliveries from registration onward. Results emitted *before*
+    ///   registration are drained to the existing subscribers first and
+    ///   never reach the new query.
+    pub fn register(&mut self, cql: &str) -> Result<QueryId, ServeError> {
+        let canonical = CanonicalQuery::from_cql(cql, &self.catalog)?;
+        let qid = QueryId(self.next_query);
+
+        let idx = match self.by_key.get(canonical.key()) {
+            Some(&idx) => {
+                self.fan_out(idx);
+                idx
+            }
+            None => {
+                let idx = self.start_pipeline(canonical.clone())?;
+                self.by_key.insert(canonical.key().clone(), idx);
+                for &global in canonical.sources() {
+                    self.routes.entry(global).or_default().push(idx);
+                }
+                idx
+            }
+        };
+
+        // Per-query references on the shared selection classes and leaf
+        // windows: the refcounts price what isolated serving would keep.
+        let (sources, window, local_classes, is_fresh) = {
+            let pipeline = self.pipelines[idx].as_ref().expect("live pipeline");
+            let sources = pipeline.canonical.sources().to_vec();
+            let local_classes: Vec<Vec<FilterTerm>> = (0..sources.len())
+                .map(|l| pipeline.canonical.filter_class(SourceId(l as u16)))
+                .collect();
+            let window = pipeline.canonical.window();
+            (
+                sources,
+                window,
+                local_classes,
+                pipeline.subscribers.is_empty(),
+            )
+        };
+        let mut class_of_local = Vec::with_capacity(sources.len());
+        let mut stem_keys = Vec::with_capacity(sources.len());
+        for (local, &global) in sources.iter().enumerate() {
+            let terms = rebase_terms(&local_classes[local], global);
+            let class = self.selection.acquire(global, &terms);
+            let key = (global, window, class);
+            let mode = self.options.state_index;
+            self.stems.acquire(key, || {
+                OperatorState::with_index_mode(format!("stem:{global}"), mode)
+            });
+            class_of_local.push(class);
+            stem_keys.push(key);
+        }
+        let pipeline = self.pipelines[idx].as_mut().expect("live pipeline");
+        if is_fresh {
+            pipeline.class_of_local = class_of_local;
+            pipeline.stem_keys = stem_keys;
+        } else {
+            debug_assert_eq!(pipeline.class_of_local, class_of_local);
+            debug_assert_eq!(pipeline.stem_keys, stem_keys);
+        }
+        pipeline.subscribers.push(qid);
+
+        self.next_query += 1;
+        self.queries.insert(qid, idx);
+        self.mailboxes.insert(qid, Vec::new());
+        Ok(qid)
+    }
+
+    /// Build and start a pipeline for `canonical`. Filters are *not*
+    /// compiled into the plan — the registry applies them through the
+    /// shared selection index before routing, so pipelines only ever see
+    /// passing tuples.
+    fn start_pipeline(&mut self, canonical: CanonicalQuery) -> Result<usize, ServeError> {
+        let mut builder = Engine::builder()
+            .query_shape(
+                canonical.shape(),
+                canonical.predicates(),
+                canonical.window(),
+            )
+            .mode(self.options.mode)
+            .state_index(self.options.state_index)
+            .partition_key_column(self.options.key_column);
+        if self.options.assume_partitionable {
+            builder = builder.assume_key_partitionable();
+        }
+        if let Some(config) = &self.options.runtime {
+            builder = builder.sharded(config.clone());
+        }
+        let session = builder.build()?.session()?;
+        let idx = self.pipelines.len();
+        self.pipelines.push(Some(Pipeline {
+            canonical,
+            session,
+            subscribers: Vec::new(),
+            class_of_local: Vec::new(),
+            stem_keys: Vec::new(),
+        }));
+        Ok(idx)
+    }
+
+    /// Remove a query. Its share of the pipeline's ready results is
+    /// delivered into its mailbox first, and the mailbox remainder is
+    /// returned; results not yet emitted are *not* flushed (the query asked
+    /// to stop listening). When the last subscriber leaves, the pipeline is
+    /// shut down and its shared state references released.
+    pub fn deregister(&mut self, qid: QueryId) -> Result<Vec<Tuple>, ServeError> {
+        let idx = *self
+            .queries
+            .get(&qid)
+            .ok_or(ServeError::UnknownQuery(qid))?;
+        self.fan_out(idx);
+        self.queries.remove(&qid);
+
+        let pipeline = self.pipelines[idx].as_mut().expect("live pipeline");
+        pipeline.subscribers.retain(|&q| q != qid);
+        let empty = pipeline.subscribers.is_empty();
+        let classes = pipeline.class_of_local.clone();
+        let keys = pipeline.stem_keys.clone();
+        for class in classes.into_iter().flatten() {
+            self.selection.release(class);
+        }
+        for key in &keys {
+            self.stems.release(key);
+        }
+
+        if empty {
+            let pipeline = self.pipelines[idx].take().expect("live pipeline");
+            self.by_key.remove(pipeline.canonical.key());
+            for &global in pipeline.canonical.sources() {
+                if let Some(ids) = self.routes.get_mut(&global) {
+                    ids.retain(|&i| i != idx);
+                }
+            }
+            self.digests.retain(|(i, _)| *i != idx);
+            // Join workers / drain cleanly; the orphaned flush output has
+            // no subscriber and is discarded.
+            pipeline.session.finish()?;
+        }
+        Ok(self.mailboxes.remove(&qid).unwrap_or_default())
+    }
+
+    /// Push one arrival, carrying the *global* source id in
+    /// [`BaseTuple::source`]. The arrival is classified once per distinct
+    /// filter class, folded once into each shared leaf window, and routed
+    /// to every pipeline whose class passed.
+    pub fn push(&mut self, tuple: Arc<BaseTuple>) -> Result<(), ServeError> {
+        let source = tuple.source;
+        if self.catalog.source(source).is_none() {
+            return Err(ServeError::UnknownSource(source));
+        }
+        if tuple.ts < self.last_push_ts {
+            return Err(ServeError::OutOfOrder {
+                pushed: tuple.ts,
+                last: self.last_push_ts,
+            });
+        }
+        self.last_push_ts = tuple.ts;
+        self.stats.arrivals += 1;
+        self.seqs
+            .entry(source)
+            .and_modify(|s| *s = (*s).max(tuple.seq + 1))
+            .or_insert(tuple.seq + 1);
+
+        let global_tuple = Tuple::from_base(tuple.clone());
+
+        // Shared selection: one evaluation per distinct class on this
+        // source, reused by every holder.
+        let verdicts = self.selection.classify(source, &global_tuple);
+        let mut passed: HashMap<ClassId, bool> = HashMap::with_capacity(verdicts.len());
+        for (class, ok) in verdicts {
+            self.stats.classifications_saved += (self.selection.refcount(class) as u64).max(1) - 1;
+            passed.insert(class, ok);
+        }
+        let class_passes =
+            |class: Option<ClassId>| class.is_none_or(|c| *passed.get(&c).unwrap_or(&false));
+
+        let route = self.routes.get(&source).cloned().unwrap_or_default();
+
+        // Cross-pollination (observational): does a sibling pipeline's
+        // learned suppression knowledge cover this arrival?
+        if !self.digests.is_empty() && !route.is_empty() {
+            for (owner, digest) in &self.digests {
+                if !route.iter().any(|i| i != owner) {
+                    continue;
+                }
+                for (columns, signature) in &digest.signatures {
+                    if !columns.is_empty()
+                        && columns.iter().all(|c| c.source == source)
+                        && Signature::of(&global_tuple, columns) == *signature
+                    {
+                        self.stats.cross_pollination_hits += 1;
+                    }
+                }
+            }
+        }
+
+        // Maintain each touched shared leaf window exactly once.
+        let mut touched: Vec<StemKey> = Vec::new();
+        for &idx in &route {
+            let Some(pipeline) = self.pipelines[idx].as_ref() else {
+                continue;
+            };
+            let local = pipeline
+                .canonical
+                .local_id(source)
+                .expect("routed pipeline references source");
+            let key = pipeline.stem_keys[local.0 as usize];
+            if class_passes(key.2) && !touched.contains(&key) {
+                touched.push(key);
+            }
+        }
+        for key in &touched {
+            if let Some(state) = self.stems.peek(key) {
+                let mut state = state.borrow_mut();
+                state.purge(key.1, tuple.ts);
+                state.insert(global_tuple.clone(), tuple.ts);
+            }
+        }
+
+        // Route once per subscribed pipeline (not per query), in creation
+        // order, remapped to the pipeline's local id space over the shared
+        // value vector.
+        let mut routed = 0u64;
+        for idx in route {
+            let Some(pipeline) = self.pipelines[idx].as_mut() else {
+                continue;
+            };
+            let local = pipeline
+                .canonical
+                .local_id(source)
+                .expect("routed pipeline references source");
+            if !class_passes(pipeline.class_of_local[local.0 as usize]) {
+                continue;
+            }
+            let remapped = Arc::new(BaseTuple {
+                source: local,
+                seq: tuple.seq,
+                ts: tuple.ts,
+                values: tuple.values.clone(),
+            });
+            pipeline.session.push(local, remapped)?;
+            routed += 1;
+        }
+        self.stats.routed += routed;
+        Ok(())
+    }
+
+    /// Convenience push: build the [`BaseTuple`] with a registry-assigned
+    /// per-source sequence number.
+    pub fn push_values(
+        &mut self,
+        source: SourceId,
+        ts: Timestamp,
+        values: Vec<Value>,
+    ) -> Result<(), ServeError> {
+        let seq = self.seqs.get(&source).copied().unwrap_or(0);
+        self.push(Arc::new(BaseTuple::new(source, seq, ts, values)))
+    }
+
+    /// Drain the results ready for `qid`: the query's pipeline is polled,
+    /// the new results fan out to *all* its subscribers' mailboxes, and
+    /// `qid`'s mailbox is emptied and returned. Result tuples are in the
+    /// query's local id space (source `i` = `i`-th `FROM` entry).
+    pub fn poll_results(&mut self, qid: QueryId) -> Result<Vec<Tuple>, ServeError> {
+        let idx = *self
+            .queries
+            .get(&qid)
+            .ok_or(ServeError::UnknownQuery(qid))?;
+        self.fan_out(idx);
+        Ok(std::mem::take(
+            self.mailboxes.get_mut(&qid).expect("mailbox"),
+        ))
+    }
+
+    /// Poll pipeline `idx` and append the fresh results to every
+    /// subscriber's mailbox.
+    fn fan_out(&mut self, idx: usize) {
+        let Some(pipeline) = self.pipelines[idx].as_mut() else {
+            return;
+        };
+        let fresh = pipeline.session.poll_results();
+        if fresh.is_empty() {
+            return;
+        }
+        for &qid in &pipeline.subscribers {
+            self.mailboxes
+                .get_mut(&qid)
+                .expect("mailbox")
+                .extend(fresh.iter().cloned());
+        }
+    }
+
+    /// Live metrics of the pipeline serving `qid`. Shared subscribers see
+    /// the same snapshot — the cost was paid once for all of them.
+    pub fn metrics_snapshot(&mut self, qid: QueryId) -> Result<MetricsSnapshot, ServeError> {
+        let idx = *self
+            .queries
+            .get(&qid)
+            .ok_or(ServeError::UnknownQuery(qid))?;
+        let pipeline = self.pipelines[idx].as_mut().expect("live pipeline");
+        Ok(pipeline.session.metrics_snapshot())
+    }
+
+    /// The current contents of the shared window on `source` as `qid` sees
+    /// it (post-selection, purged to the last pushed timestamp), in global
+    /// id space.
+    pub fn window_contents(
+        &mut self,
+        qid: QueryId,
+        source: SourceId,
+    ) -> Result<Vec<Tuple>, ServeError> {
+        let idx = *self
+            .queries
+            .get(&qid)
+            .ok_or(ServeError::UnknownQuery(qid))?;
+        let pipeline = self.pipelines[idx].as_ref().expect("live pipeline");
+        let local = pipeline
+            .canonical
+            .local_id(source)
+            .ok_or(ServeError::UnknownSource(source))?;
+        let key = pipeline.stem_keys[local.0 as usize];
+        let state = self.stems.peek(&key).expect("acquired stem");
+        let mut state = state.borrow_mut();
+        state.purge(key.1, self.last_push_ts);
+        Ok(state.iter().map(|s| s.tuple.clone()).collect())
+    }
+
+    /// Re-collect every pipeline's suppression digest (rebased to the
+    /// global column space) for cross-pollination accounting. Returns the
+    /// number of signatures now cached. Digests are empty on backends that
+    /// cannot aggregate them (notably the sharded runtime) and in non-JIT
+    /// modes — then this is a cheap no-op.
+    pub fn refresh_suppression(&mut self) -> usize {
+        self.digests.clear();
+        for (idx, slot) in self.pipelines.iter_mut().enumerate() {
+            let Some(pipeline) = slot else { continue };
+            let local_digest = pipeline.session.suppression_digest();
+            if local_digest.signatures.is_empty() {
+                continue;
+            }
+            let sources = pipeline.canonical.sources();
+            let mut global = SuppressionDigest::new();
+            for (columns, signature) in &local_digest.signatures {
+                let columns = columns
+                    .iter()
+                    .map(|c| ColumnRef::new(sources[c.source.0 as usize], c.column))
+                    .collect::<Vec<_>>();
+                let values = Signature(
+                    signature
+                        .0
+                        .iter()
+                        .map(|(c, v)| {
+                            (
+                                ColumnRef::new(sources[c.source.0 as usize], c.column),
+                                v.clone(),
+                            )
+                        })
+                        .collect(),
+                );
+                global.add(columns, values);
+            }
+            global.entries = local_digest.entries;
+            self.digests.push((idx, global));
+        }
+        self.digests.iter().map(|(_, d)| d.signatures.len()).sum()
+    }
+
+    /// Total pairwise overlap between the cached pipeline digests: how many
+    /// suppression signatures were learned independently by more than one
+    /// pipeline — knowledge one query could have handed its siblings.
+    pub fn suppression_overlap(&self) -> usize {
+        let mut total = 0;
+        for (i, (_, a)) in self.digests.iter().enumerate() {
+            for (_, b) in &self.digests[i + 1..] {
+                total += a.overlap(b);
+            }
+        }
+        total
+    }
+
+    /// How much work the tier is currently sharing.
+    pub fn sharing_report(&self) -> SharingReport {
+        SharingReport {
+            queries: self.queries.len(),
+            pipelines: self.num_pipelines(),
+            filter_classes: self.selection.num_classes(),
+            arrivals: self.stats.arrivals,
+            routed: self.stats.routed,
+            classifications: self.selection.evaluations(),
+            classifications_saved: self.stats.classifications_saved,
+            shared_state_bytes: self.stems.shared_bytes(),
+            isolated_state_bytes: self.stems.isolated_bytes(),
+            cross_pollination_hits: self.stats.cross_pollination_hits,
+            suppression_signatures: self.digests.iter().map(|(_, d)| d.signatures.len()).sum(),
+        }
+    }
+
+    /// Registered query ids, ascending.
+    pub fn queries(&self) -> Vec<QueryId> {
+        let mut ids: Vec<QueryId> = self.queries.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Number of registered queries.
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Number of executing pipelines.
+    pub fn num_pipelines(&self) -> usize {
+        self.pipelines.iter().flatten().count()
+    }
+
+    /// Arrivals pushed so far.
+    pub fn arrivals(&self) -> u64 {
+        self.stats.arrivals
+    }
+
+    /// End the stream for every query: each pipeline is finished once
+    /// (end-of-stream flush, workers joined) and its outcome duplicated to
+    /// all subscribers, with each subscriber's undelivered mailbox content
+    /// prepended to the outcome's results. Sorted by query id.
+    ///
+    /// Pipeline-level figures (`results_count`, metrics) appear once per
+    /// subscriber — they describe the shared pipeline, paid for once.
+    pub fn finish(mut self) -> Result<Vec<(QueryId, EngineOutcome)>, ServeError> {
+        let mut finished = Vec::with_capacity(self.queries.len());
+        for slot in self.pipelines.into_iter() {
+            let Some(pipeline) = slot else { continue };
+            let outcome = pipeline.session.finish()?;
+            for qid in pipeline.subscribers {
+                let mut results = self.mailboxes.remove(&qid).unwrap_or_default();
+                results.extend(outcome.results.iter().cloned());
+                finished.push((
+                    qid,
+                    EngineOutcome {
+                        results,
+                        ..outcome.clone()
+                    },
+                ));
+            }
+        }
+        finished.sort_by_key(|(qid, _)| *qid);
+        Ok(finished)
+    }
+}
+
+/// Rebase a local-space filter class (local source id, global columns) to
+/// the fully global column space of the registry-wide selection index.
+fn rebase_terms(terms: &[FilterTerm], global: SourceId) -> Vec<FilterTerm> {
+    terms
+        .iter()
+        .map(|t| FilterTerm {
+            column: ColumnRef::new(global, t.column.column),
+            op: t.op,
+            constant: t.constant.clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_source("A", vec!["k".into(), "v".into()]);
+        cat.add_source("B", vec!["k".into(), "v".into()]);
+        cat.add_source("C", vec!["k".into()]);
+        cat
+    }
+
+    const JOIN_AB: &str = "SELECT * FROM A [RANGE 1 minutes], B [RANGE 1 minutes] WHERE A.k = B.k";
+
+    fn push(reg: &mut QueryRegistry, source: u16, ts: u64, values: Vec<i64>) {
+        reg.push_values(
+            SourceId(source),
+            Timestamp(ts),
+            values.into_iter().map(Value::int).collect(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn equivalent_texts_share_one_pipeline() {
+        let mut reg = QueryRegistry::new(catalog());
+        let q1 = reg.register(JOIN_AB).unwrap();
+        let q2 = reg
+            .register("select * from a [range 1 minutes], b [range 1 minutes] where B.k = A.k")
+            .unwrap();
+        assert_ne!(q1, q2);
+        assert_eq!(reg.num_queries(), 2);
+        assert_eq!(reg.num_pipelines(), 1);
+        // A genuinely different query gets its own pipeline.
+        let q3 = reg
+            .register("SELECT * FROM A [RANGE 2 minutes], B [RANGE 2 minutes] WHERE A.k = B.k")
+            .unwrap();
+        assert_eq!(reg.num_pipelines(), 2);
+
+        push(&mut reg, 0, 0, vec![7, 1]);
+        push(&mut reg, 1, 10, vec![7, 2]);
+        let r1 = reg.poll_results(q1).unwrap();
+        let r2 = reg.poll_results(q2).unwrap();
+        let r3 = reg.poll_results(q3).unwrap();
+        assert_eq!(r1.len(), 1);
+        assert_eq!(r1, r2, "subscribers of one pipeline see identical results");
+        assert_eq!(r1, r3, "same join, wider window, same single result");
+        // Nothing is delivered twice.
+        assert!(reg.poll_results(q1).unwrap().is_empty());
+        // Two pipelines saw the arrivals; each was pushed once per pipeline.
+        assert_eq!(reg.sharing_report().routed, 4);
+    }
+
+    #[test]
+    fn shared_filters_classify_once_and_gate_routing() {
+        let mut reg = QueryRegistry::new(catalog());
+        let filtered = "SELECT * FROM A [RANGE 1 minutes], B [RANGE 1 minutes] \
+                        WHERE A.k = B.k AND A.v > 10";
+        let q1 = reg.register(filtered).unwrap();
+        // Same filter, different window: new pipeline, same filter class.
+        let q2 = reg
+            .register(
+                "SELECT * FROM A [RANGE 2 minutes], B [RANGE 2 minutes] \
+                 WHERE A.k = B.k AND A.v > 10",
+            )
+            .unwrap();
+        let report = reg.sharing_report();
+        assert_eq!(report.pipelines, 2);
+        assert_eq!(report.filter_classes, 1);
+
+        push(&mut reg, 0, 0, vec![7, 5]); // fails A.v > 10 for both pipelines
+        push(&mut reg, 0, 1, vec![7, 20]); // passes
+        push(&mut reg, 1, 2, vec![7, 0]);
+        let report = reg.sharing_report();
+        // The two A-arrivals were each classified once (one shared class),
+        // not once per query.
+        assert_eq!(report.classifications, 2);
+        assert_eq!(report.classifications_saved, 2);
+        // The failing arrival never reached any pipeline: 1 passing A + 1
+        // unfiltered B, each into 2 pipelines.
+        assert_eq!(report.routed, 4);
+        assert_eq!(reg.poll_results(q1).unwrap().len(), 1);
+        assert_eq!(reg.poll_results(q2).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn stem_cache_shares_windows_and_prices_isolation() {
+        let mut reg = QueryRegistry::new(catalog());
+        let q1 = reg.register(JOIN_AB).unwrap();
+        let _q2 = reg.register(JOIN_AB).unwrap();
+        push(&mut reg, 0, 0, vec![1, 1]);
+        push(&mut reg, 0, 1, vec![2, 2]);
+        let report = reg.sharing_report();
+        assert!(report.shared_state_bytes > 0);
+        // Two subscribers per stem: isolation would store everything twice.
+        assert_eq!(report.isolated_state_bytes, 2 * report.shared_state_bytes);
+        let window = reg.window_contents(q1, SourceId(0)).unwrap();
+        assert_eq!(window.len(), 2);
+        // The window slides: push past the 1-minute range.
+        push(&mut reg, 0, 61_000, vec![3, 3]);
+        let window = reg.window_contents(q1, SourceId(0)).unwrap();
+        assert_eq!(window.len(), 1);
+        // Windows are registry-level state, in global id space.
+        assert_eq!(window[0].parts()[0].source, SourceId(0));
+    }
+
+    #[test]
+    fn deregister_mid_stream_keeps_siblings_and_reclaims_orphans() {
+        let mut reg = QueryRegistry::new(catalog());
+        let q1 = reg.register(JOIN_AB).unwrap();
+        let q2 = reg.register(JOIN_AB).unwrap();
+        push(&mut reg, 0, 0, vec![7, 1]);
+        push(&mut reg, 1, 1, vec![7, 2]);
+        // q1 leaves: it collects the ready result on the way out…
+        let remainder = reg.deregister(q1).unwrap();
+        assert_eq!(remainder.len(), 1);
+        // …and the shared pipeline keeps serving q2.
+        assert_eq!(reg.num_pipelines(), 1);
+        push(&mut reg, 0, 2, vec![7, 3]);
+        assert_eq!(reg.poll_results(q2).unwrap().len(), 2);
+        // The id is dead for every per-query entry point.
+        assert!(matches!(
+            reg.poll_results(q1),
+            Err(ServeError::UnknownQuery(_))
+        ));
+        assert!(matches!(
+            reg.metrics_snapshot(q1),
+            Err(ServeError::UnknownQuery(_))
+        ));
+        assert!(matches!(
+            reg.deregister(q1),
+            Err(ServeError::UnknownQuery(_))
+        ));
+        // Last subscriber out shuts the pipeline and empties the caches.
+        reg.deregister(q2).unwrap();
+        assert_eq!(reg.num_pipelines(), 0);
+        let report = reg.sharing_report();
+        assert_eq!(report.filter_classes, 0);
+        assert_eq!(report.shared_state_bytes, 0);
+        // The stream keeps flowing with zero queries registered.
+        push(&mut reg, 0, 3, vec![1, 1]);
+        assert_eq!(reg.sharing_report().routed, 3);
+    }
+
+    #[test]
+    fn push_contract_is_enforced() {
+        let mut reg = QueryRegistry::new(catalog());
+        reg.register(JOIN_AB).unwrap();
+        push(&mut reg, 0, 10, vec![1, 1]);
+        assert!(matches!(
+            reg.push_values(SourceId(0), Timestamp(5), vec![Value::int(1)]),
+            Err(ServeError::OutOfOrder { .. })
+        ));
+        assert!(matches!(
+            reg.push_values(SourceId(9), Timestamp(10), vec![]),
+            Err(ServeError::UnknownSource(SourceId(9)))
+        ));
+        assert!(matches!(
+            reg.register("SELECT nonsense"),
+            Err(ServeError::Cql(_))
+        ));
+    }
+
+    #[test]
+    fn finish_delivers_every_query_exactly_once() {
+        let mut reg = QueryRegistry::new(catalog());
+        let q1 = reg.register(JOIN_AB).unwrap();
+        let q2 = reg.register(JOIN_AB).unwrap();
+        push(&mut reg, 0, 0, vec![7, 1]);
+        push(&mut reg, 1, 1, vec![7, 2]);
+        // q1 polls early; q2 never polls. Both must end with the same
+        // complete result stream.
+        let early = reg.poll_results(q1).unwrap();
+        assert_eq!(early.len(), 1);
+        push(&mut reg, 0, 2, vec![7, 3]);
+        push(&mut reg, 1, 3, vec![7, 4]);
+        let finished = reg.finish().unwrap();
+        assert_eq!(finished.len(), 2);
+        assert_eq!(finished[0].0, q1);
+        assert_eq!(finished[1].0, q2);
+        // Four join results total: B@1×A@0, A@2×B@1, B@3×{A@0, A@2}.
+        let q1_total = early.len() + finished[0].1.results.len();
+        assert_eq!(q1_total, finished[1].1.results.len());
+        assert_eq!(finished[1].1.results.len(), 4);
+    }
+
+    #[test]
+    fn suppression_reporting_is_wired_and_observational() {
+        use jit_core::JitPolicy;
+        let mut reg = QueryRegistry::with_options(
+            catalog(),
+            ServeOptions {
+                mode: ExecutionMode::Jit(JitPolicy::full()),
+                ..ServeOptions::default()
+            },
+        );
+        let q1 = reg.register(JOIN_AB).unwrap();
+        push(&mut reg, 0, 0, vec![7, 1]);
+        push(&mut reg, 1, 1, vec![7, 2]);
+        // Nothing suppressed in this tiny stream: the digest cache is
+        // empty, overlap zero, and no hit is ever counted — but the calls
+        // are valid at any time.
+        reg.refresh_suppression();
+        assert_eq!(reg.suppression_overlap(), 0);
+        push(&mut reg, 0, 2, vec![7, 3]);
+        let report = reg.sharing_report();
+        assert_eq!(report.suppression_signatures, 0);
+        assert_eq!(report.cross_pollination_hits, 0);
+        // JIT never changes what a query receives: 2 join results total,
+        // whether polled or flushed.
+        let polled = reg.poll_results(q1).unwrap().len();
+        let finished = reg.finish().unwrap();
+        assert_eq!(polled + finished[0].1.results.len(), 2);
+    }
+}

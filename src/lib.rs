@@ -20,12 +20,16 @@
 //!   `EngineBuilder` → `Engine` → `Session` API serving both the
 //!   single-threaded executor and the sharded runtime behind one
 //!   `Backend` seam.
+//! * [`serve`] — the multi-query serving tier: a runtime `QueryRegistry`
+//!   sharing pipelines, selection pushdown and window state across many
+//!   standing queries over one pushed stream.
 //! * [`harness`] — experiment harness regenerating the paper's figures,
 //!   plus the parallel entry point for scaling experiments.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour,
-//! `examples/live_session.rs` for push-based live ingestion, and
-//! `examples/parallel_quickstart.rs` for the multi-core version.
+//! `examples/live_session.rs` for push-based live ingestion,
+//! `examples/parallel_quickstart.rs` for the multi-core version, and
+//! `examples/serving_tier.rs` for multi-query serving.
 
 pub use jit_core as core;
 pub use jit_engine as engine;
@@ -34,6 +38,7 @@ pub use jit_harness as harness;
 pub use jit_metrics as metrics;
 pub use jit_plan as plan;
 pub use jit_runtime as runtime;
+pub use jit_serve as serve;
 pub use jit_stream as stream;
 pub use jit_types as types;
 
@@ -52,6 +57,7 @@ pub mod prelude {
     pub use jit_plan::runtime::{QueryRuntime, RunOutcome};
     pub use jit_plan::shapes::{PlanShape, TreeShape};
     pub use jit_runtime::{ParallelOutcome, RuntimeConfig, ShardedRuntime, ShardedSession};
+    pub use jit_serve::{QueryId, QueryRegistry, ServeOptions};
     pub use jit_stream::arrival::ArrivalEvent;
     pub use jit_stream::workload::WorkloadSpec;
     pub use jit_stream::{ShardPartitioner, Trace, WorkloadGenerator};
