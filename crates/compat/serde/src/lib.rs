@@ -121,6 +121,18 @@ pub fn field<T: Deserialize>(map: &[(String, Content)], name: &str, ty: &str) ->
     }
 }
 
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(content.clone())
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Primitive impls
 // ---------------------------------------------------------------------------

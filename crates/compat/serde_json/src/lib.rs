@@ -266,11 +266,23 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Consume one UTF-8 encoded character.
-                    let rest = &self.bytes[self.pos..];
-                    let text = std::str::from_utf8(rest)
-                        .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
+                    // Multi-byte UTF-8: decode from a bounded window (a code
+                    // point is at most 4 bytes) — validating the whole
+                    // remaining input per character would be quadratic.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let window = &self.bytes[self.pos..end];
+                    let text = match std::str::from_utf8(window) {
+                        Ok(text) => text,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()]).unwrap()
+                        }
+                        Err(_) => return Err(Error::msg("invalid UTF-8 in string")),
+                    };
                     let c = text.chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -358,6 +370,15 @@ mod tests {
         for v in [i64::MIN, i64::MIN + 1, -1, 0, i64::MAX] {
             let back: i64 = from_str(&to_string(&v).unwrap()).unwrap();
             assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn non_ascii_strings_round_trip() {
+        for s in ["héllo wörld", "日本語テキスト", "emoji 🦀 mix", "¡ü¡"] {
+            let json = to_string(&s.to_string()).unwrap();
+            let back: String = from_str(&json).unwrap();
+            assert_eq!(back, s);
         }
     }
 

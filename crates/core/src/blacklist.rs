@@ -11,11 +11,12 @@
 
 use jit_exec::state::StateIndexMode;
 use jit_types::{ColumnRef, Signature, Timestamp, Tuple, TupleKey, Window};
+use serde::{Content, Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Whether an entry suppresses production entirely or only marks it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SuspendMode {
     /// Super-tuples are not produced at all (`<suspend, …>`).
     Suspend,
@@ -24,7 +25,7 @@ pub enum SuspendMode {
 }
 
 /// One suspended tuple.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BlacklistedTuple {
     /// The suspended tuple (a super-tuple of the entry's MNS, or a similar
     /// tuple captured by signature).
@@ -36,7 +37,7 @@ pub struct BlacklistedTuple {
 }
 
 /// All tuples suspended on behalf of one MNS.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BlacklistEntry {
     /// The MNS that justified the suspension (as received in the feedback).
     pub mns: Tuple,
@@ -319,6 +320,44 @@ impl Blacklist {
         self.bytes -= freed;
         removed
     }
+
+    /// Serialise the entries for a durability checkpoint. The index mode and
+    /// the hash indexes are runtime configuration / derived structure and are
+    /// not persisted.
+    pub fn checkpoint(&self) -> Content {
+        Content::Map(vec![
+            ("name".to_string(), Content::Str(self.name.clone())),
+            ("entries".to_string(), self.entries.to_content()),
+        ])
+    }
+
+    /// Replace the entries with a checkpointed set, rebuilding the byte
+    /// accounting and the hash indexes. The checkpoint must carry the same
+    /// diagnostic name (i.e. come from the same operator slot).
+    pub fn restore_checkpoint(&mut self, content: &Content) -> Result<(), serde::Error> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("object", "Blacklist"))?;
+        let name: String = serde::field(map, "name", "Blacklist")?;
+        if name != self.name {
+            return Err(serde::Error::msg(format!(
+                "blacklist mismatch: checkpoint holds `{name}`, plan expects `{}`",
+                self.name
+            )));
+        }
+        let entries: Vec<BlacklistEntry> = serde::field(map, "entries", "Blacklist")?;
+        self.bytes = entries
+            .iter()
+            .map(|e| {
+                e.mns.size_bytes()
+                    + e.signature.size_bytes()
+                    + e.tuples.iter().map(|t| t.tuple.size_bytes()).sum::<usize>()
+            })
+            .sum();
+        self.entries = entries;
+        self.reindex();
+        Ok(())
+    }
 }
 
 impl fmt::Display for Blacklist {
@@ -528,6 +567,36 @@ mod tests {
         let a2 = tup(0, 2, 1_000, &[7, 999]);
         let a2b = a2.join(&b).unwrap();
         assert_eq!(bl.matching_entry(&a2b, false), None);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_entries_and_bytes() {
+        let mut bl = Blacklist::new("B");
+        let a1 = tup(0, 1, 0, &[7, 100]);
+        let idx = bl.upsert_entry(a1.clone(), sig_cols(), SuspendMode::Suspend, a1.ts());
+        bl.add_tuple(idx, a1.clone(), Some(Timestamp::from_millis(5)));
+        bl.add_tuple(idx, tup(0, 2, 10, &[9, 100]), None);
+        bl.upsert_entry(tup(0, 3, 20, &[1, 200]), vec![], SuspendMode::Mark, a1.ts());
+        let blob = bl.checkpoint();
+        let mut restored = Blacklist::new("B");
+        restored.restore_checkpoint(&blob).unwrap();
+        assert_eq!(restored.num_entries(), bl.num_entries());
+        assert_eq!(restored.num_tuples(), bl.num_tuples());
+        assert_eq!(restored.size_bytes(), bl.size_bytes());
+        assert_eq!(restored.entries()[0].mode, SuspendMode::Suspend);
+        assert_eq!(
+            restored.entries()[0].tuples[0].joined_up_to,
+            Some(Timestamp::from_millis(5))
+        );
+        // The rebuilt indexes answer probes like the original.
+        assert_eq!(
+            restored.matching_entry(&a1, true),
+            bl.matching_entry(&a1, true)
+        );
+        assert_eq!(restored.entry_index(&a1.key()), bl.entry_index(&a1.key()));
+        // A checkpoint from a differently named blacklist is rejected.
+        let mut other = Blacklist::new("C");
+        assert!(other.restore_checkpoint(&blob).is_err());
     }
 
     #[test]

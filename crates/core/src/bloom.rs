@@ -8,6 +8,7 @@
 //! MNSs, never wrong ones.
 
 use jit_types::Value;
+use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
@@ -17,7 +18,11 @@ use std::hash::{Hash, Hasher};
 /// false-positive rate (fewer detected MNSs) and never affects correctness.
 /// Callers may call [`BloomFilter::clear`] to rebuild it from the live state
 /// when staleness accumulates.
-#[derive(Debug, Clone)]
+///
+/// The filter is plain data (`derive`d `Serialize`/`Deserialize`): a
+/// durability checkpoint persists the exact bit pattern, so a restored
+/// filter gives byte-identical membership answers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BloomFilter {
     bits: Vec<u64>,
     num_bits: usize,

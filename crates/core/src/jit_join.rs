@@ -52,7 +52,16 @@ use jit_types::{
     ColumnRef, Feedback, FeedbackCommand, PredicateSet, SourceSet, Timestamp, Tuple, TupleKey,
     Window,
 };
+use serde::{Content, Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// Serialise a hash map as its `(key, value)` pairs sorted by key, so the
+/// checkpoint bytes are deterministic regardless of hasher state.
+fn sorted_pairs<K: Ord + Clone, V: Clone>(map: &HashMap<K, V>) -> Vec<(K, V)> {
+    let mut pairs: Vec<(K, V)> = map.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    pairs
+}
 
 /// Past presence intervals of a tuple that has been blacklisted at least
 /// once, expressed in the operator's logical event sequence (one tick per
@@ -921,6 +930,24 @@ impl Operator for JitJoinOperator {
         outcome
     }
 
+    fn on_watermark(&mut self, ctx: &mut OpContext<'_>) -> OperatorOutput {
+        // Under the watermark clock expiry work runs here instead of
+        // piggybacking on the next arrival; in particular the resumption of
+        // suppressed tuples whose MNS justification expired must not wait
+        // for traffic. While Ø-suspended nothing is purged: pending inputs
+        // replay with their original arrival instants on resumption, and
+        // purging at the watermark would remove state they still need.
+        if self.fully_suspended {
+            return OperatorOutput::empty();
+        }
+        let mut feedback = Vec::new();
+        self.purge_all(ctx.now, ctx, &mut feedback);
+        OperatorOutput {
+            results: Vec::new(),
+            feedback,
+        }
+    }
+
     fn handle_feedback(&mut self, fb: &Feedback, ctx: &mut OpContext<'_>) -> FeedbackOutcome {
         let now = ctx.now;
         let mut outcome = FeedbackOutcome::empty();
@@ -952,6 +979,97 @@ impl Operator for JitJoinOperator {
                 .chain(self.blooms[RIGHT].values())
                 .map(|b| b.size_bytes())
                 .sum::<usize>()
+    }
+
+    fn checkpoint(&self) -> Content {
+        // Everything derivable from the query is rebuilt by the constructor
+        // (probe/node specs, node order); everything that evolved with the
+        // stream is persisted. `pending_bytes` is recomputed on restore.
+        let pending: Vec<(usize, Tuple, bool, Timestamp)> = self
+            .pending
+            .iter()
+            .map(|(port, msg, at)| (*port, msg.tuple.clone(), msg.marked, *at))
+            .collect();
+        let per_side = |f: &dyn Fn(usize) -> Content| Content::Seq(vec![f(LEFT), f(RIGHT)]);
+        Content::Map(vec![
+            (
+                "states".to_string(),
+                per_side(&|s| self.states[s].checkpoint()),
+            ),
+            (
+                "mns_buffers".to_string(),
+                per_side(&|s| self.mns_buffers[s].checkpoint()),
+            ),
+            (
+                "blacklists".to_string(),
+                per_side(&|s| self.blacklists[s].checkpoint()),
+            ),
+            (
+                "histories".to_string(),
+                per_side(&|s| sorted_pairs(&self.histories[s]).to_content()),
+            ),
+            ("event_seq".to_string(), self.event_seq.to_content()),
+            (
+                "interval_start".to_string(),
+                per_side(&|s| sorted_pairs(&self.interval_start[s]).to_content()),
+            ),
+            (
+                "blooms".to_string(),
+                per_side(&|s| sorted_pairs(&self.blooms[s]).to_content()),
+            ),
+            (
+                "fully_suspended".to_string(),
+                self.fully_suspended.to_content(),
+            ),
+            ("pending".to_string(), pending.to_content()),
+        ])
+    }
+
+    fn restore(&mut self, state: &Content) -> Result<(), serde::Error> {
+        const TY: &str = "JitJoinOperator";
+        let map = state
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("object", TY))?;
+        let sides = |name: &str| -> Result<[Content; 2], serde::Error> {
+            let blob: Content = serde::field(map, name, TY)?;
+            let pair = blob.as_seq_n(2, TY)?;
+            Ok([pair[0].clone(), pair[1].clone()])
+        };
+        let states = sides("states")?;
+        let mns_buffers = sides("mns_buffers")?;
+        let blacklists = sides("blacklists")?;
+        let histories = sides("histories")?;
+        let interval_start = sides("interval_start")?;
+        let blooms = sides("blooms")?;
+        for side in [LEFT, RIGHT] {
+            self.states[side].restore_checkpoint(&states[side])?;
+            self.mns_buffers[side].restore_checkpoint(&mns_buffers[side])?;
+            self.blacklists[side].restore_checkpoint(&blacklists[side])?;
+            self.histories[side] =
+                Vec::<(TupleKey, Vec<(u64, u64)>)>::from_content(&histories[side])?
+                    .into_iter()
+                    .collect();
+            self.interval_start[side] =
+                Vec::<(TupleKey, u64)>::from_content(&interval_start[side])?
+                    .into_iter()
+                    .collect();
+            self.blooms[side] = Vec::<(ColumnRef, BloomFilter)>::from_content(&blooms[side])?
+                .into_iter()
+                .collect();
+        }
+        self.event_seq = serde::field(map, "event_seq", TY)?;
+        self.fully_suspended = serde::field(map, "fully_suspended", TY)?;
+        let pending: Vec<(usize, Tuple, bool, Timestamp)> = serde::field(map, "pending", TY)?;
+        self.pending = pending
+            .into_iter()
+            .map(|(port, tuple, marked, at)| (port, DataMessage { tuple, marked }, at))
+            .collect();
+        self.pending_bytes = self
+            .pending
+            .iter()
+            .map(|(_, msg, _)| msg.size_bytes())
+            .sum();
+        Ok(())
     }
 
     fn suppression_digest(&self) -> SuppressionDigest {
@@ -1049,6 +1167,67 @@ mod tests {
         let now = msg.tuple.ts();
         let mut ctx = OpContext::new(now, metrics);
         op.process(port, msg, &mut ctx)
+    }
+
+    /// A checkpoint captures the whole evolving state — operator states,
+    /// blacklists, MNS buffers, presence histories, Bloom filters — so a
+    /// restored operator behaves identically on the subsequent stream.
+    #[test]
+    fn checkpoint_restores_full_dynamic_state() {
+        let mut orig = op1(JitPolicy::bloom());
+        let mut metrics = RunMetrics::new();
+        process(&mut orig, RIGHT, &b(1, 0, 1), &mut metrics);
+        process(&mut orig, LEFT, &a(1, 1, 1, 100), &mut metrics);
+        // Suspend a1: it moves to the blacklist; a2 is then diverted there.
+        let mut ctx = OpContext::new(Timestamp::from_secs(1), &mut metrics);
+        orig.handle_feedback(&Feedback::suspend(vec![a(1, 1, 1, 100).tuple]), &mut ctx);
+        process(&mut orig, LEFT, &a(2, 2, 1, 100), &mut metrics);
+
+        let blob = orig.checkpoint();
+        let mut restored = op1(JitPolicy::bloom());
+        restored.restore(&blob).unwrap();
+        assert_eq!(restored.memory_bytes(), orig.memory_bytes());
+        assert_eq!(restored.blacklist_len(LEFT), orig.blacklist_len(LEFT));
+        assert_eq!(restored.state_len(RIGHT), orig.state_len(RIGHT));
+
+        // Resuming a1 must release the same tuples with the same
+        // catch-up joins in both operators (exercises the restored
+        // presence histories and joined-up-to instants).
+        let fb = Feedback::resume(vec![a(1, 1, 1, 100).tuple]);
+        let mut ctx = OpContext::new(Timestamp::from_secs(3), &mut metrics);
+        let out_orig = orig.handle_feedback(&fb, &mut ctx);
+        let mut ctx = OpContext::new(Timestamp::from_secs(3), &mut metrics);
+        let out_rest = restored.handle_feedback(&fb, &mut ctx);
+        let keys = |msgs: &[DataMessage]| msgs.iter().map(|m| m.tuple.key()).collect::<Vec<_>>();
+        assert_eq!(keys(&out_rest.resumed), keys(&out_orig.resumed));
+        // And the next arrival joins identically.
+        let out_orig = process(&mut orig, RIGHT, &b(5, 4, 1), &mut metrics);
+        let out_rest = process(&mut restored, RIGHT, &b(5, 4, 1), &mut metrics);
+        assert_eq!(keys(&out_rest.results), keys(&out_orig.results));
+    }
+
+    /// Ø suspension survives a checkpoint: the buffered pending inputs are
+    /// replayed with their original arrival instants after a restore.
+    #[test]
+    fn checkpoint_round_trips_full_suspension_and_pending() {
+        let mut orig = op1(JitPolicy::full());
+        let mut metrics = RunMetrics::new();
+        process(&mut orig, RIGHT, &b(1, 0, 1), &mut metrics);
+        let mut ctx = OpContext::new(Timestamp::from_secs(1), &mut metrics);
+        orig.handle_feedback(&Feedback::suspend(vec![Tuple::empty()]), &mut ctx);
+        // Buffered unprocessed while fully suspended.
+        process(&mut orig, LEFT, &a(1, 2, 1, 100), &mut metrics);
+        assert!(orig.is_fully_suspended());
+
+        let mut restored = op1(JitPolicy::full());
+        restored.restore(&orig.checkpoint()).unwrap();
+        assert!(restored.is_fully_suspended());
+        assert_eq!(restored.memory_bytes(), orig.memory_bytes());
+        // Flushing replays the pending input against the restored state.
+        let mut ctx = OpContext::new(Timestamp::from_secs(3), &mut metrics);
+        let out = restored.flush(&mut ctx);
+        assert_eq!(out.resumed.len(), 1);
+        assert_eq!(out.resumed[0].tuple.num_parts(), 2);
     }
 
     /// Table I scenario at the consumer Op2: an AB tuple with no C partner

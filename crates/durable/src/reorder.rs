@@ -1,0 +1,348 @@
+//! The watermark-driven reorder stage.
+
+use jit_types::{Duration, Timestamp};
+use serde::{Content, Serialize};
+use std::collections::BTreeMap;
+
+/// How a session treats out-of-order arrivals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisorderPolicy {
+    /// The historical contract: any timestamp regression is an error.
+    Strict,
+    /// Tolerate arrivals up to this much later than the maximum timestamp
+    /// seen. The watermark trails the maximum by the bound; tuples at or
+    /// under the watermark are released downstream in timestamp order, and
+    /// an arrival older than the watermark is dropped and counted (a typed
+    /// [`PushOutcome::LateDrop`], never an error).
+    Bounded(Duration),
+}
+
+impl DisorderPolicy {
+    /// The lateness bound, if any.
+    pub fn lateness(&self) -> Option<Duration> {
+        match self {
+            DisorderPolicy::Strict => None,
+            DisorderPolicy::Bounded(l) => Some(*l),
+        }
+    }
+}
+
+/// What happened to one pushed arrival under a bounded-disorder policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a LateDrop means the tuple was NOT processed"]
+pub enum PushOutcome {
+    /// The arrival was accepted (buffered, and released once the watermark
+    /// passes it).
+    Accepted,
+    /// The arrival was accepted and was late (smaller timestamp than an
+    /// earlier arrival) — it will still be released in correct order.
+    AcceptedLate,
+    /// The arrival was older than the watermark allows; it was dropped and
+    /// counted, not processed.
+    LateDrop,
+}
+
+impl PushOutcome {
+    /// Was the tuple accepted for processing?
+    pub fn is_accepted(&self) -> bool {
+        !matches!(self, PushOutcome::LateDrop)
+    }
+}
+
+/// A reorder buffer in front of a push-based backend.
+///
+/// Arrivals go in via [`ReorderBuffer::push`] in any order within the
+/// lateness bound; [`ReorderBuffer::release`] hands back everything at or
+/// under a watermark in `(timestamp, arrival sequence)` order — ties release
+/// in arrival order, so an already-sorted stream passes through unchanged.
+///
+/// The buffer is generic over the item carried with each timestamp; the
+/// engine stores `(SourceId, Arc<BaseTuple>)`, tests store whatever is
+/// convenient.
+#[derive(Debug, Clone)]
+pub struct ReorderBuffer<T> {
+    lateness: Duration,
+    /// Buffered arrivals keyed by (timestamp, arrival sequence).
+    buffered: BTreeMap<(Timestamp, u64), T>,
+    /// Arrival sequence counter (tie-break for equal timestamps).
+    seq: u64,
+    /// Largest timestamp ever pushed.
+    max_ts: Timestamp,
+    /// The released frontier: everything at or under it has been handed
+    /// out, and an arrival under it is too late.
+    frontier: Timestamp,
+    late_arrivals: u64,
+    late_dropped: u64,
+    peak: u64,
+}
+
+impl<T> ReorderBuffer<T> {
+    /// An empty buffer with the given lateness bound.
+    pub fn new(lateness: Duration) -> Self {
+        ReorderBuffer {
+            lateness,
+            buffered: BTreeMap::new(),
+            seq: 0,
+            max_ts: Timestamp::ZERO,
+            frontier: Timestamp::ZERO,
+            late_arrivals: 0,
+            late_dropped: 0,
+            peak: 0,
+        }
+    }
+
+    /// The configured lateness bound.
+    pub fn lateness(&self) -> Duration {
+        self.lateness
+    }
+
+    /// The released frontier (the current watermark).
+    pub fn frontier(&self) -> Timestamp {
+        self.frontier
+    }
+
+    /// The largest timestamp pushed so far.
+    pub fn max_ts(&self) -> Timestamp {
+        self.max_ts
+    }
+
+    /// Number of arrivals currently buffered.
+    pub fn len(&self) -> usize {
+        self.buffered.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.buffered.is_empty()
+    }
+
+    /// Arrivals that came in with a timestamp smaller than an earlier one —
+    /// reordered if within the bound, dropped if not (a superset of
+    /// [`ReorderBuffer::late_dropped`]).
+    pub fn late_arrivals(&self) -> u64 {
+        self.late_arrivals
+    }
+
+    /// Arrivals older than the watermark, dropped and counted.
+    pub fn late_dropped(&self) -> u64 {
+        self.late_dropped
+    }
+
+    /// Largest number of arrivals ever buffered at once.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Accept one arrival. Too-late arrivals (timestamp under the released
+    /// frontier) are dropped and counted; everything else is buffered.
+    pub fn push(&mut self, ts: Timestamp, item: T) -> PushOutcome {
+        if ts < self.frontier {
+            // A drop is the extreme case of a late arrival: count it in
+            // both, so `late_arrivals ≥ late_dropped` always holds.
+            self.late_arrivals += 1;
+            self.late_dropped += 1;
+            return PushOutcome::LateDrop;
+        }
+        let late = ts < self.max_ts;
+        if late {
+            self.late_arrivals += 1;
+        }
+        self.max_ts = self.max_ts.max(ts);
+        self.buffered.insert((ts, self.seq), item);
+        self.seq += 1;
+        self.peak = self.peak.max(self.buffered.len() as u64);
+        if late {
+            PushOutcome::AcceptedLate
+        } else {
+            PushOutcome::Accepted
+        }
+    }
+
+    /// The watermark the stream has earned: the maximum timestamp seen minus
+    /// the lateness bound, never behind the released frontier. Releasing at
+    /// this point is safe because any future accepted arrival carries a
+    /// timestamp above it.
+    pub fn target_watermark(&self) -> Timestamp {
+        self.max_ts
+            .saturating_sub_duration(self.lateness)
+            .max(self.frontier)
+    }
+
+    /// Release every buffered arrival with `ts <= watermark`, in
+    /// `(timestamp, arrival sequence)` order, and advance the frontier.
+    /// A watermark behind the frontier releases nothing (watermarks never
+    /// move backwards).
+    pub fn release(&mut self, watermark: Timestamp) -> Vec<(Timestamp, T)> {
+        if watermark < self.frontier {
+            return Vec::new();
+        }
+        self.frontier = watermark;
+        // Split point: everything at or under (watermark, u64::MAX).
+        let keep = self.buffered.split_off(&(watermark, u64::MAX));
+        let released = std::mem::replace(&mut self.buffered, keep);
+        released.into_iter().map(|((ts, _), t)| (ts, t)).collect()
+    }
+
+    /// Release everything still buffered (end of stream), advancing the
+    /// frontier to the maximum timestamp seen.
+    pub fn flush(&mut self) -> Vec<(Timestamp, T)> {
+        self.release(self.max_ts.max(self.frontier))
+    }
+
+    /// Iterate the buffered arrivals in release order (for checkpointing).
+    pub fn iter(&self) -> impl Iterator<Item = (Timestamp, &T)> {
+        self.buffered.iter().map(|(&(ts, _), t)| (ts, t))
+    }
+
+    /// Serialise the buffer's control state (not the items — the caller
+    /// serialises those via [`ReorderBuffer::iter`], since the item type is
+    /// its own).
+    pub fn checkpoint_control(&self) -> Content {
+        Content::Map(vec![
+            ("lateness".to_string(), self.lateness.to_content()),
+            ("max_ts".to_string(), self.max_ts.to_content()),
+            ("frontier".to_string(), self.frontier.to_content()),
+            ("late_arrivals".to_string(), self.late_arrivals.to_content()),
+            ("late_dropped".to_string(), self.late_dropped.to_content()),
+            ("peak".to_string(), self.peak.to_content()),
+        ])
+    }
+
+    /// Rebuild a buffer from [`ReorderBuffer::checkpoint_control`] plus the
+    /// buffered items (in release order, as produced by
+    /// [`ReorderBuffer::iter`]).
+    pub fn restore(
+        control: &Content,
+        items: impl IntoIterator<Item = (Timestamp, T)>,
+    ) -> Result<Self, serde::Error> {
+        let map = control
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("object", "ReorderBuffer"))?;
+        let mut buffer = ReorderBuffer::new(serde::field(map, "lateness", "ReorderBuffer")?);
+        buffer.max_ts = serde::field(map, "max_ts", "ReorderBuffer")?;
+        buffer.frontier = serde::field(map, "frontier", "ReorderBuffer")?;
+        buffer.late_arrivals = serde::field(map, "late_arrivals", "ReorderBuffer")?;
+        buffer.late_dropped = serde::field(map, "late_dropped", "ReorderBuffer")?;
+        buffer.peak = serde::field(map, "peak", "ReorderBuffer")?;
+        for (ts, item) in items {
+            buffer.buffered.insert((ts, buffer.seq), item);
+            buffer.seq += 1;
+        }
+        Ok(buffer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Timestamp {
+        Timestamp::from_millis(v)
+    }
+
+    #[test]
+    fn in_order_stream_passes_through_unchanged() {
+        let mut buf = ReorderBuffer::new(Duration::from_millis(100));
+        for i in 0..10u64 {
+            assert_eq!(buf.push(ms(i * 50), i), PushOutcome::Accepted);
+        }
+        let released = buf.release(buf.target_watermark());
+        let ids: Vec<u64> = released.iter().map(|&(_, id)| id).collect();
+        // max_ts 450, bound 100 → watermark 350 releases ids 0..=7.
+        assert_eq!(ids, (0..=7).collect::<Vec<_>>());
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.late_arrivals(), 0);
+        let rest: Vec<u64> = buf.flush().iter().map(|&(_, id)| id).collect();
+        assert_eq!(rest, vec![8, 9]);
+        assert_eq!(buf.frontier(), ms(450));
+    }
+
+    #[test]
+    fn late_arrival_within_bound_is_reordered() {
+        let mut buf = ReorderBuffer::new(Duration::from_millis(100));
+        assert!(buf.push(ms(200), "a").is_accepted());
+        assert_eq!(buf.push(ms(150), "late"), PushOutcome::AcceptedLate);
+        assert_eq!(buf.late_arrivals(), 1);
+        let released = buf.flush();
+        let order: Vec<&str> = released.iter().map(|&(_, s)| s).collect();
+        assert_eq!(order, vec!["late", "a"]);
+    }
+
+    #[test]
+    fn equal_timestamps_release_in_arrival_order() {
+        let mut buf = ReorderBuffer::new(Duration::ZERO);
+        let _ = buf.push(ms(10), 1);
+        let _ = buf.push(ms(10), 2);
+        let _ = buf.push(ms(10), 3);
+        let ids: Vec<i32> = buf.flush().iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn too_late_arrival_is_dropped_and_counted() {
+        let mut buf = ReorderBuffer::new(Duration::from_millis(50));
+        let _ = buf.push(ms(1_000), "a");
+        let released = buf.release(buf.target_watermark());
+        assert_eq!(released.len(), 0); // watermark 950 < ts 1000
+                                       // Push a tuple under the frontier after releasing past it.
+        let _ = buf.push(ms(2_000), "b");
+        let released = buf.release(buf.target_watermark());
+        assert_eq!(released.len(), 1); // watermark 1950 releases "a"
+        assert_eq!(buf.push(ms(900), "too-late"), PushOutcome::LateDrop);
+        assert_eq!(buf.late_dropped(), 1);
+        assert_eq!(buf.len(), 1); // only "b"
+    }
+
+    #[test]
+    fn watermarks_never_move_backwards() {
+        let mut buf = ReorderBuffer::new(Duration::ZERO);
+        let _ = buf.push(ms(100), 1);
+        assert_eq!(buf.release(ms(100)).len(), 1);
+        assert!(buf.release(ms(50)).is_empty());
+        assert_eq!(buf.frontier(), ms(100));
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut buf = ReorderBuffer::new(Duration::from_millis(1_000));
+        for i in 0..5u64 {
+            let _ = buf.push(ms(i), i);
+        }
+        let _ = buf.flush();
+        let _ = buf.push(ms(2_000), 9);
+        assert_eq!(buf.peak(), 5);
+    }
+
+    #[test]
+    fn control_round_trips_through_checkpoint() {
+        let mut buf = ReorderBuffer::new(Duration::from_millis(100));
+        let _ = buf.push(ms(500), 7u64);
+        let _ = buf.push(ms(450), 8u64);
+        let _ = buf.push(ms(300), 9u64); // released below
+        let _ = buf.release(buf.target_watermark());
+        let control = buf.checkpoint_control();
+        let items: Vec<(Timestamp, u64)> = buf.iter().map(|(ts, &v)| (ts, v)).collect();
+        let restored: ReorderBuffer<u64> = ReorderBuffer::restore(&control, items).unwrap();
+        assert_eq!(restored.frontier(), buf.frontier());
+        assert_eq!(restored.max_ts(), buf.max_ts());
+        assert_eq!(restored.late_arrivals(), buf.late_arrivals());
+        assert_eq!(restored.peak(), buf.peak());
+        assert_eq!(restored.len(), buf.len());
+        let a: Vec<(Timestamp, u64)> = restored
+            .buffered
+            .iter()
+            .map(|(&(ts, _), &v)| (ts, v))
+            .collect();
+        let b: Vec<(Timestamp, u64)> = buf.buffered.iter().map(|(&(ts, _), &v)| (ts, v)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn strict_policy_has_no_lateness() {
+        assert_eq!(DisorderPolicy::Strict.lateness(), None);
+        assert_eq!(
+            DisorderPolicy::Bounded(Duration::from_secs(1)).lateness(),
+            Some(Duration::from_secs(1))
+        );
+    }
+}

@@ -21,7 +21,8 @@ use jit_exec::operator::SuppressionDigest;
 use jit_metrics::MetricsSnapshot;
 use jit_runtime::{ShardOutcome, ShardedSession};
 use jit_stream::arrival::ArrivalEvent;
-use jit_types::{BaseTuple, SourceId, Tuple};
+use jit_types::{BaseTuple, SourceId, Timestamp, Tuple};
+use serde::Content;
 use std::sync::Arc;
 
 /// Everything one finished engine session produced.
@@ -89,6 +90,17 @@ pub trait Backend {
         SuppressionDigest::default()
     }
 
+    /// Advance the backend's watermark clock: operators purge state expired
+    /// at `w` and application time becomes `w`. Meaningful when the backend
+    /// was built with the watermark clock enabled (the bounded-disorder
+    /// path); the session calls it *after* pushing every tuple released at
+    /// or under `w`, never before.
+    fn advance_watermark(&mut self, w: Timestamp);
+
+    /// Serialise the backend's full resumable state (operator state,
+    /// progress, unpolled results) as a checkpoint blob.
+    fn checkpoint(&mut self) -> Result<Content, EngineError>;
+
     /// End the stream: flush suppressed production to quiescence and return
     /// the outcome.
     fn finish(self: Box<Self>) -> Result<EngineOutcome, EngineError>;
@@ -125,6 +137,14 @@ impl Backend for SingleThreadBackend {
 
     fn suppression_digest(&mut self) -> SuppressionDigest {
         self.executor.suppression_digest()
+    }
+
+    fn advance_watermark(&mut self, w: Timestamp) {
+        self.executor.advance_watermark(w);
+    }
+
+    fn checkpoint(&mut self) -> Result<Content, EngineError> {
+        Ok(self.executor.checkpoint())
     }
 
     fn finish(self: Box<Self>) -> Result<EngineOutcome, EngineError> {
@@ -173,6 +193,14 @@ impl Backend for ShardedBackend {
 
     fn metrics_snapshot(&mut self) -> MetricsSnapshot {
         self.session.metrics_snapshot()
+    }
+
+    fn advance_watermark(&mut self, w: Timestamp) {
+        self.session.advance_watermark(w);
+    }
+
+    fn checkpoint(&mut self) -> Result<Content, EngineError> {
+        Ok(self.session.checkpoint()?)
     }
 
     fn finish(self: Box<Self>) -> Result<EngineOutcome, EngineError> {

@@ -6,13 +6,17 @@ use crate::partition::check_key_partitionable;
 use crate::query::{QuerySpec, ResolvedQuery};
 use crate::session::Session;
 use jit_core::policy::ExecutionMode;
+use jit_durable::{read_checkpoint, CheckpointError, DisorderPolicy, ReorderBuffer};
 use jit_exec::executor::{Executor, ExecutorConfig};
 use jit_exec::state::StateIndexMode;
 use jit_plan::builder::{build_tree_plan_with, PlanOptions};
 use jit_plan::shapes::PlanShape;
 use jit_runtime::{RuntimeConfig, ShardPartitioner, ShardedRuntime};
 use jit_stream::{Trace, WorkloadSpec};
-use jit_types::{PredicateSet, Window};
+use jit_types::{BaseTuple, PredicateSet, SourceId, Timestamp, Window};
+use serde::Content;
+use std::path::Path;
+use std::sync::Arc;
 
 /// Typed, defaulted construction of an [`Engine`].
 ///
@@ -36,6 +40,7 @@ pub struct EngineBuilder {
     key_column: usize,
     assume_partitionable: bool,
     state_index: StateIndexMode,
+    disorder: DisorderPolicy,
 }
 
 impl Default for EngineBuilder {
@@ -48,6 +53,7 @@ impl Default for EngineBuilder {
             key_column: 0,
             assume_partitionable: false,
             state_index: StateIndexMode::default(),
+            disorder: DisorderPolicy::Strict,
         }
     }
 }
@@ -142,6 +148,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Set how sessions treat out-of-order arrivals. The default,
+    /// [`DisorderPolicy::Strict`], keeps the paper's contract: a timestamp
+    /// regression is a typed [`EngineError::OutOfOrder`].
+    /// [`DisorderPolicy::Bounded`] puts a watermark-driven reorder buffer
+    /// in front of the backend: arrivals within the lateness bound are
+    /// buffered and released in timestamp order; older ones are dropped and
+    /// counted, never errors (see `jit_durable` for the full protocol).
+    pub fn disorder(mut self, policy: DisorderPolicy) -> Self {
+        self.disorder = policy;
+        self
+    }
+
     /// Assert that the workload is key-partitionable as a *data* invariant
     /// even though the predicates do not prove it — the generator's
     /// shared-key mode replicates one key value into every column, so the
@@ -194,6 +212,7 @@ impl EngineBuilder {
             runtime: self.runtime,
             key_column: self.key_column,
             state_index: self.state_index,
+            disorder: self.disorder,
         })
     }
 
@@ -229,6 +248,7 @@ pub struct Engine {
     runtime: Option<RuntimeConfig>,
     key_column: usize,
     state_index: StateIndexMode,
+    disorder: DisorderPolicy,
 }
 
 impl Engine {
@@ -257,13 +277,30 @@ impl Engine {
         self.state_index
     }
 
+    /// The disorder policy every session runs under.
+    pub fn disorder(&self) -> DisorderPolicy {
+        self.disorder
+    }
+
     /// Open a live session: instantiate the plan(s), spawn shard workers if
     /// sharded, and return the push-based handle.
     pub fn session(&self) -> Result<Session, EngineError> {
+        let backend = self.backend(None)?;
+        let buffer = self.disorder.lateness().map(ReorderBuffer::new);
+        Ok(Session::new(backend, buffer))
+    }
+
+    /// Build the configured backend; with `restore` set, rebuild it from a
+    /// checkpointed backend blob instead of starting fresh. The watermark
+    /// clock is enabled exactly when the disorder policy is bounded — under
+    /// it the session drives operator time through explicit watermarks
+    /// instead of per-ingest timestamps.
+    fn backend(&self, restore: Option<&Content>) -> Result<Box<dyn Backend>, EngineError> {
         let options = PlanOptions {
             index_mode: self.state_index,
             filters: self.query.filters.clone(),
         };
+        let watermark_clock = matches!(self.disorder, DisorderPolicy::Bounded(_));
         let backend: Box<dyn Backend> = match &self.runtime {
             None => {
                 let plan = build_tree_plan_with(
@@ -273,16 +310,20 @@ impl Engine {
                     self.mode,
                     &options,
                 )?;
-                Box::new(SingleThreadBackend::new(
-                    Executor::new(plan, self.exec_config.clone()),
-                    self.mode.label(),
-                ))
+                let mut executor = Executor::new(plan, self.exec_config.clone());
+                executor.set_watermark_clock(watermark_clock);
+                if let Some(state) = restore {
+                    executor
+                        .restore_checkpoint(state)
+                        .map_err(|e| EngineError::Checkpoint(CheckpointError::Serde(e)))?;
+                }
+                Box::new(SingleThreadBackend::new(executor, self.mode.label()))
             }
             Some(config) => {
                 let runtime = ShardedRuntime::new(config.clone()).with_partitioner(
                     ShardPartitioner::new(config.shards).with_key_column(self.key_column),
                 );
-                let session = runtime.start(self.exec_config.clone(), |_shard| {
+                let factory = |_shard: usize| {
                     build_tree_plan_with(
                         &self.query.shape,
                         &self.query.predicates,
@@ -290,11 +331,91 @@ impl Engine {
                         self.mode,
                         &options,
                     )
-                })?;
+                };
+                let session = match restore {
+                    None => {
+                        runtime.start_opts(self.exec_config.clone(), watermark_clock, factory)?
+                    }
+                    Some(state) => runtime.start_restored(
+                        self.exec_config.clone(),
+                        watermark_clock,
+                        state,
+                        factory,
+                    )?,
+                };
                 Box::new(ShardedBackend::new(session, self.mode.label()))
             }
         };
-        Ok(Session::new(backend))
+        Ok(backend)
+    }
+
+    /// Rebuild a live [`Session`] from a checkpoint body produced by
+    /// [`Session::checkpoint`] (or read back with
+    /// `jit_durable::read_checkpoint`).
+    ///
+    /// The engine must be configured identically to the one that produced
+    /// the checkpoint (same query, mode, backend and disorder policy) —
+    /// operator state is replayed into freshly built plans, and any
+    /// structural mismatch is a typed
+    /// [`EngineError::Checkpoint`]. After the restore, resume pushing the
+    /// input stream from arrival index [`Session::pushed`]; the results
+    /// from then on are exactly those an uninterrupted run would have
+    /// produced.
+    pub fn restore(&self, checkpoint: &Content) -> Result<Session, EngineError> {
+        const TY: &str = "Session checkpoint";
+        let corrupt = |e: serde::Error| EngineError::Checkpoint(CheckpointError::Serde(e));
+        let map = checkpoint.as_map().ok_or_else(|| {
+            EngineError::Checkpoint(CheckpointError::Corrupt(
+                "checkpoint body is not an object".to_string(),
+            ))
+        })?;
+        let pushed: u64 = serde::field(map, "pushed", TY).map_err(corrupt)?;
+        let last_push_ts: Timestamp = serde::field(map, "last_push_ts", TY).map_err(corrupt)?;
+        let ckpt_bytes: u64 = serde::field(map, "ckpt_bytes", TY).map_err(corrupt)?;
+        let ckpt_millis: u64 = serde::field(map, "ckpt_millis", TY).map_err(corrupt)?;
+        let disorder_state = serde::field::<Content>(map, "disorder", TY).map_err(corrupt)?;
+        let buffer = match (&disorder_state, self.disorder) {
+            (Content::Null, DisorderPolicy::Strict) => None,
+            (Content::Null, DisorderPolicy::Bounded(_)) => {
+                return Err(EngineError::Checkpoint(CheckpointError::Mismatch(
+                    "checkpoint was taken under the strict policy, engine is bounded".to_string(),
+                )))
+            }
+            (_, DisorderPolicy::Strict) => {
+                return Err(EngineError::Checkpoint(CheckpointError::Mismatch(
+                    "checkpoint was taken under a bounded policy, engine is strict".to_string(),
+                )))
+            }
+            (state, DisorderPolicy::Bounded(_)) => {
+                let dmap = state.as_map().ok_or_else(|| {
+                    EngineError::Checkpoint(CheckpointError::Corrupt(
+                        "disorder state is not an object".to_string(),
+                    ))
+                })?;
+                let control = serde::field::<Content>(dmap, "control", TY).map_err(corrupt)?;
+                let items: Vec<(Timestamp, (SourceId, Arc<BaseTuple>))> =
+                    serde::field(dmap, "items", TY).map_err(corrupt)?;
+                Some(ReorderBuffer::restore(&control, items).map_err(corrupt)?)
+            }
+        };
+        let backend_state = serde::field::<Content>(map, "backend", TY).map_err(corrupt)?;
+        let backend = self.backend(Some(&backend_state))?;
+        Ok(Session::restored(
+            backend,
+            pushed,
+            last_push_ts,
+            buffer,
+            ckpt_bytes,
+            ckpt_millis,
+        ))
+    }
+
+    /// [`Engine::restore`] from a checkpoint *file* written by
+    /// [`Session::checkpoint_to`] — validates the magic header and format
+    /// version before touching the body.
+    pub fn restore_file(&self, path: impl AsRef<Path>) -> Result<Session, EngineError> {
+        let body = read_checkpoint(path)?;
+        self.restore(&body)
     }
 
     /// One-shot convenience: open a session, replay `trace`, finish.

@@ -1,5 +1,6 @@
 //! The engine's typed error.
 
+use jit_durable::CheckpointError;
 use jit_exec::plan::PlanError;
 use jit_plan::cql::CqlError;
 use jit_runtime::{ConfigError, RuntimeError};
@@ -43,12 +44,18 @@ pub enum EngineError {
     },
     /// A tuple was pushed with a timestamp smaller than an earlier push;
     /// sessions require non-decreasing application time (Section II).
+    /// Raised only under [`jit_durable::DisorderPolicy::Strict`] — the
+    /// bounded policy turns bounded lateness into reordering and unbounded
+    /// lateness into a counted drop, never an error.
     OutOfOrder {
         /// Timestamp of the rejected tuple.
         pushed: Timestamp,
         /// Largest timestamp pushed so far.
         last: Timestamp,
     },
+    /// Writing, reading or applying a durability checkpoint failed (I/O,
+    /// corruption, format-version or configuration mismatch).
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for EngineError {
@@ -78,6 +85,7 @@ impl fmt::Display for EngineError {
                 "out-of-order push: timestamp {pushed} after {last}; sessions require \
                  non-decreasing application time"
             ),
+            EngineError::Checkpoint(e) => write!(f, "{e}"),
         }
     }
 }
@@ -89,6 +97,7 @@ impl std::error::Error for EngineError {
             EngineError::Cql(e) => Some(e),
             EngineError::Plan(e) => Some(e),
             EngineError::Runtime(e) => Some(e),
+            EngineError::Checkpoint(e) => Some(e),
             _ => None,
         }
     }
@@ -115,6 +124,12 @@ impl From<PlanError> for EngineError {
 impl From<RuntimeError> for EngineError {
     fn from(e: RuntimeError) -> Self {
         EngineError::Runtime(e)
+    }
+}
+
+impl From<CheckpointError> for EngineError {
+    fn from(e: CheckpointError) -> Self {
+        EngineError::Checkpoint(e)
     }
 }
 

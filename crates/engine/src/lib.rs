@@ -57,6 +57,7 @@ pub mod session;
 pub use backend::{Backend, EngineOutcome, ShardedBackend, SingleThreadBackend};
 pub use builder::{Engine, EngineBuilder};
 pub use error::EngineError;
+pub use jit_durable::{CheckpointError, CheckpointStats, DisorderPolicy, PushOutcome};
 pub use partition::check_key_partitionable;
 pub use query::{QuerySpec, ResolvedQuery};
 pub use session::Session;

@@ -13,6 +13,7 @@ use crate::operator::{DataMessage, OpContext, Operator, OperatorOutput, Port};
 use crate::state::{JoinKeySpec, OperatorState, StateIndexMode};
 use jit_metrics::CostKind;
 use jit_types::{PredicateSet, SourceId, SourceSet, Tuple, Window};
+use serde::Content;
 use std::collections::HashMap;
 
 /// How the Eddy picks the next STeM to visit.
@@ -194,6 +195,29 @@ impl Operator for EddyOperator {
 
     fn memory_bytes(&self) -> usize {
         self.states.iter().map(|s| s.size_bytes()).sum()
+    }
+
+    fn checkpoint(&self) -> Content {
+        // The spec cache is derived (rebuilt on first sight of each
+        // frontier), so only the STeM contents are persisted.
+        Content::Seq(self.states.iter().map(OperatorState::checkpoint).collect())
+    }
+
+    fn restore(&mut self, state: &Content) -> Result<(), serde::Error> {
+        let stems = state
+            .as_seq()
+            .ok_or_else(|| serde::Error::expected("array", "EddyOperator"))?;
+        if stems.len() != self.states.len() {
+            return Err(serde::Error::msg(format!(
+                "checkpoint has {} STeMs but the Eddy has {}",
+                stems.len(),
+                self.states.len()
+            )));
+        }
+        for (own, blob) in self.states.iter_mut().zip(stems) {
+            own.restore_checkpoint(blob)?;
+        }
+        Ok(())
     }
 }
 

@@ -14,6 +14,7 @@ use crate::plan::{ExecutablePlan, Input, OperatorSlot};
 use crate::scheduler::{Priority, Scheduler, Task, TaskKind};
 use jit_metrics::{CostKind, MemComponentId, MetricsSnapshot, RunMetrics};
 use jit_types::{BaseTuple, FeedbackCommand, SourceId, Timestamp, Tuple};
+use serde::{Content, Serialize};
 use std::sync::Arc;
 
 /// Execution options.
@@ -50,6 +51,13 @@ pub struct Executor {
     order_violations: u64,
     config: ExecutorConfig,
     current_time: Timestamp,
+    /// When set, the executor's clock is driven *only* by
+    /// [`Executor::advance_watermark`]: arrivals are processed at the current
+    /// watermark frontier even if their own timestamp is ahead of it (they
+    /// were released by a reorder buffer that has not advanced the frontier
+    /// past them yet), and the in-order `ingest` assertion is waived. This is
+    /// the execution regime of `DisorderPolicy::Bounded`.
+    watermark_clock: bool,
 }
 
 impl Executor {
@@ -76,6 +84,7 @@ impl Executor {
             order_violations: 0,
             config,
             current_time: Timestamp::ZERO,
+            watermark_clock: false,
         }
     }
 
@@ -84,14 +93,28 @@ impl Executor {
         Executor::new(plan, ExecutorConfig::default())
     }
 
+    /// Switch the executor onto the watermark clock (see the field docs on
+    /// [`Executor`]): time advances only via [`Executor::advance_watermark`].
+    /// Must be set before the first arrival.
+    pub fn set_watermark_clock(&mut self, enabled: bool) {
+        debug_assert_eq!(
+            self.current_time,
+            Timestamp::ZERO,
+            "the clock regime must be chosen before the first arrival"
+        );
+        self.watermark_clock = enabled;
+    }
+
     /// Ingest one base tuple from a source and run the cascade to
     /// completion.
     pub fn ingest(&mut self, source: SourceId, tuple: Arc<BaseTuple>) {
-        debug_assert!(
-            tuple.ts >= self.current_time,
-            "arrivals must be ingested in timestamp order"
-        );
-        self.current_time = tuple.ts;
+        if !self.watermark_clock {
+            debug_assert!(
+                tuple.ts >= self.current_time,
+                "arrivals must be ingested in timestamp order"
+            );
+            self.current_time = tuple.ts;
+        }
         self.metrics.stats.tuples_arrived += 1;
         let subscribers = self
             .source_subscribers
@@ -114,6 +137,31 @@ impl Executor {
             );
         }
         self.run_cascade();
+    }
+
+    /// Advance the executor clock to watermark `w` and give every operator
+    /// its [`crate::operator::Operator::on_watermark`] turn (expiry-driven
+    /// resumption in particular), running the resulting cascades.
+    ///
+    /// The caller must deliver this *after* pushing the tuples released up
+    /// to `w`: those tuples are processed at the previous frontier, so a
+    /// late-but-admissible probe still finds every stored partner the old
+    /// frontier kept alive. Watermarks never move backwards.
+    pub fn advance_watermark(&mut self, w: Timestamp) {
+        if w <= self.current_time {
+            return;
+        }
+        self.current_time = w;
+        for idx in 0..self.slots.len() {
+            let output = {
+                let slot = &mut self.slots[idx];
+                let mut ctx = OpContext::new(w, &mut self.metrics);
+                slot.operator.on_watermark(&mut ctx)
+            };
+            self.route_results(OperatorId(idx), output.results, Priority::Resumed);
+            self.route_feedback(OperatorId(idx), output.feedback);
+            self.run_cascade();
+        }
     }
 
     /// Run scheduled tasks until the cascade is drained.
@@ -290,6 +338,96 @@ impl Executor {
             digest.merge(&slot.operator.suppression_digest());
         }
         digest
+    }
+
+    /// Serialise the executor's resumable state: the clock, the sink
+    /// bookkeeping, any collected-but-undrained results, and one blob per
+    /// operator (validated by name on restore).
+    ///
+    /// Must be taken between cascades (the scheduler is always drained
+    /// then), so there is no in-flight task or feedback to persist. Metrics
+    /// are deliberately *not* checkpointed: a restored run restarts its
+    /// counters, which keeps cost accounting attributable to the process
+    /// that actually paid it.
+    pub fn checkpoint(&self) -> Content {
+        debug_assert!(
+            self.scheduler.is_empty(),
+            "checkpoints are taken between cascades"
+        );
+        Content::Map(vec![
+            ("current_time".to_string(), self.current_time.to_content()),
+            (
+                "last_result_ts".to_string(),
+                self.last_result_ts.to_content(),
+            ),
+            ("results_count".to_string(), self.results_count.to_content()),
+            (
+                "order_violations".to_string(),
+                self.order_violations.to_content(),
+            ),
+            ("pending_results".to_string(), self.results.to_content()),
+            (
+                "operators".to_string(),
+                Content::Seq(
+                    self.slots
+                        .iter()
+                        .map(|slot| {
+                            Content::Map(vec![
+                                (
+                                    "name".to_string(),
+                                    Content::Str(slot.operator.name().to_string()),
+                                ),
+                                ("state".to_string(), slot.operator.checkpoint()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Rebuild the executor's dynamic state from an [`Executor::checkpoint`]
+    /// blob. The executor must have been freshly constructed from the same
+    /// plan (operator count and names are validated). Results that were
+    /// collected but never drained at checkpoint time are reinstated, so the
+    /// first `take_results` after a restore returns exactly what the
+    /// original session would have returned.
+    pub fn restore_checkpoint(&mut self, content: &Content) -> Result<(), serde::Error> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("object", "Executor"))?;
+        let operators = serde::field::<Content>(map, "operators", "Executor")?;
+        let operators = operators
+            .as_seq()
+            .ok_or_else(|| serde::Error::expected("array", "Executor::operators"))?;
+        if operators.len() != self.slots.len() {
+            return Err(serde::Error::msg(format!(
+                "checkpoint has {} operators but the plan has {}",
+                operators.len(),
+                self.slots.len()
+            )));
+        }
+        for (slot, blob) in self.slots.iter_mut().zip(operators) {
+            let entry = blob
+                .as_map()
+                .ok_or_else(|| serde::Error::expected("object", "operator checkpoint"))?;
+            let name: String = serde::field(entry, "name", "operator checkpoint")?;
+            if name != slot.operator.name() {
+                return Err(serde::Error::msg(format!(
+                    "operator mismatch: checkpoint holds `{name}`, plan expects `{}`",
+                    slot.operator.name()
+                )));
+            }
+            let state: Content = serde::field(entry, "state", "operator checkpoint")?;
+            slot.operator.restore(&state)?;
+        }
+        self.current_time = serde::field(map, "current_time", "Executor")?;
+        self.last_result_ts = serde::field(map, "last_result_ts", "Executor")?;
+        self.results_count = serde::field(map, "results_count", "Executor")?;
+        self.order_violations = serde::field(map, "order_violations", "Executor")?;
+        self.results = serde::field(map, "pending_results", "Executor")?;
+        self.sample_memory();
+        Ok(())
     }
 
     /// Finish the run: flush suppressed production, freeze the wall clock

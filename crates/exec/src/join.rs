@@ -12,6 +12,7 @@ use crate::operator::{DataMessage, OpContext, Operator, OperatorOutput, Port, LE
 use crate::state::{JoinKeySpec, OperatorState, StateIndexMode};
 use jit_metrics::{CostKind, RunMetrics};
 use jit_types::{PredicateSet, SourceSet, Window};
+use serde::Content;
 
 /// Binary sliding-window equi-join without feedback (the REF baseline).
 #[derive(Debug)]
@@ -177,6 +178,24 @@ impl Operator for RefJoinOperator {
 
     fn memory_bytes(&self) -> usize {
         self.left_state.size_bytes() + self.right_state.size_bytes()
+    }
+
+    fn checkpoint(&self) -> Content {
+        Content::Map(vec![
+            ("left".to_string(), self.left_state.checkpoint()),
+            ("right".to_string(), self.right_state.checkpoint()),
+        ])
+    }
+
+    fn restore(&mut self, state: &Content) -> Result<(), serde::Error> {
+        let map = state
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("object", "RefJoinOperator"))?;
+        self.left_state
+            .restore_checkpoint(&serde::field::<Content>(map, "left", "RefJoinOperator")?)?;
+        self.right_state
+            .restore_checkpoint(&serde::field::<Content>(map, "right", "RefJoinOperator")?)?;
+        Ok(())
     }
 }
 

@@ -11,6 +11,7 @@ use crate::operator::{DataMessage, OpContext, Operator, OperatorOutput, Port, LE
 use crate::state::{JoinKeySpec, OperatorState, StateIndexMode};
 use jit_metrics::{CostKind, RunMetrics};
 use jit_types::{PredicateSet, SourceSet, Window};
+use serde::Content;
 
 /// Port on which tuples to probe arrive.
 pub const PROBE_PORT: Port = LEFT;
@@ -143,6 +144,14 @@ impl Operator for HalfJoinOperator {
 
     fn memory_bytes(&self) -> usize {
         self.state.size_bytes()
+    }
+
+    fn checkpoint(&self) -> Content {
+        self.state.checkpoint()
+    }
+
+    fn restore(&mut self, state: &Content) -> Result<(), serde::Error> {
+        self.state.restore_checkpoint(state)
     }
 }
 

@@ -9,6 +9,7 @@
 
 use jit_metrics::RunMetrics;
 use jit_types::{ColumnRef, Feedback, Signature, SourceSet, Timestamp, Tuple};
+use serde::Content;
 use std::fmt;
 
 /// Index of an operator input port. Binary operators use [`LEFT`] and
@@ -268,6 +269,49 @@ pub trait Operator: Send {
     fn flush(&mut self, ctx: &mut OpContext<'_>) -> FeedbackOutcome {
         let _ = ctx;
         FeedbackOutcome::empty()
+    }
+
+    /// Watermark advance: the executor's clock has just moved forward to
+    /// `ctx.now` *without* a data arrival (the watermark-clock regime of
+    /// bounded-disorder execution). Operators whose time-driven work is
+    /// normally piggybacked on arrivals — JIT's MNS-expiry resumption in
+    /// particular — perform it here, so suppressed productions are released
+    /// at watermark boundaries rather than waiting for the next tuple.
+    ///
+    /// The default is a no-op, which is sound for operators whose only
+    /// time-driven work is state purging: purge-at-probe is based on tuple
+    /// timestamps and every probe re-checks the window, so deferring the
+    /// purge to the next arrival changes no results.
+    fn on_watermark(&mut self, ctx: &mut OpContext<'_>) -> OperatorOutput {
+        let _ = ctx;
+        OperatorOutput::empty()
+    }
+
+    /// Serialise the operator's resumable dynamic state (window contents,
+    /// buffers, blacklists, …) as a [`Content`] blob for a checkpoint.
+    ///
+    /// Static configuration (schemas, predicates, windows) is *not*
+    /// serialised — a restore reconstructs the plan from the query and then
+    /// replays each operator's blob into the freshly built instance. The
+    /// default returns [`Content::Null`], correct for stateless operators.
+    fn checkpoint(&self) -> Content {
+        Content::Null
+    }
+
+    /// Rebuild the operator's dynamic state from a blob produced by
+    /// [`Operator::checkpoint`] on an identically configured instance.
+    ///
+    /// The default accepts only [`Content::Null`] (the stateless checkpoint)
+    /// and rejects anything else — a stateful blob reaching a stateless
+    /// operator means the checkpoint and the plan disagree.
+    fn restore(&mut self, state: &Content) -> Result<(), serde::Error> {
+        match state {
+            Content::Null => Ok(()),
+            _ => Err(serde::Error::msg(format!(
+                "operator `{}` holds no dynamic state but the checkpoint has some",
+                self.name()
+            ))),
+        }
     }
 }
 

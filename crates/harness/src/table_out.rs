@@ -101,6 +101,7 @@ mod tests {
             peak_memory_bytes: mem,
             steady_peak_memory_bytes: mem,
             final_memory_bytes: mem / 2,
+            ..MetricsSnapshot::zero()
         }
     }
 

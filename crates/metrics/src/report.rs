@@ -54,6 +54,11 @@ impl RunMetrics {
             peak_memory_bytes: self.memory.peak_bytes(),
             steady_peak_memory_bytes: self.memory.peak_bytes(),
             final_memory_bytes: self.memory.current_bytes(),
+            late_arrivals: 0,
+            late_dropped: 0,
+            reorder_buffer_peak: 0,
+            checkpoint_bytes: 0,
+            checkpoint_millis: 0,
         }
     }
 
@@ -68,6 +73,11 @@ impl RunMetrics {
             peak_memory_bytes: self.memory.peak_bytes(),
             steady_peak_memory_bytes: self.memory.peak_bytes(),
             final_memory_bytes: self.memory.current_bytes(),
+            late_arrivals: 0,
+            late_dropped: 0,
+            reorder_buffer_peak: 0,
+            checkpoint_bytes: 0,
+            checkpoint_millis: 0,
         }
     }
 }
@@ -93,6 +103,20 @@ pub struct MetricsSnapshot {
     pub steady_peak_memory_bytes: usize,
     /// Memory still held at the end of the run, in bytes.
     pub final_memory_bytes: usize,
+    /// Arrivals that came in behind the stream's high-water timestamp (out
+    /// of order) but within the lateness bound — reordered, not dropped.
+    /// Always 0 under `DisorderPolicy::Strict` (disorder is a hard error
+    /// there) and for executions without a reorder buffer.
+    pub late_arrivals: u64,
+    /// Arrivals later than the lateness bound, dropped and counted (the
+    /// `LateDrop` outcome of a bounded-disorder push).
+    pub late_dropped: u64,
+    /// Peak number of tuples held in the reorder buffer at any instant.
+    pub reorder_buffer_peak: u64,
+    /// Bytes written by the most recent state checkpoint (0 if none taken).
+    pub checkpoint_bytes: u64,
+    /// Wall-clock milliseconds spent writing the most recent checkpoint.
+    pub checkpoint_millis: u64,
 }
 
 impl MetricsSnapshot {
@@ -137,6 +161,11 @@ impl MetricsSnapshot {
             peak_memory_bytes: 0,
             steady_peak_memory_bytes: 0,
             final_memory_bytes: 0,
+            late_arrivals: 0,
+            late_dropped: 0,
+            reorder_buffer_peak: 0,
+            checkpoint_bytes: 0,
+            checkpoint_millis: 0,
         }
     }
 
@@ -155,6 +184,13 @@ impl MetricsSnapshot {
         self.peak_memory_bytes += other.peak_memory_bytes;
         self.steady_peak_memory_bytes += other.steady_peak_memory_bytes;
         self.final_memory_bytes += other.final_memory_bytes;
+        self.late_arrivals += other.late_arrivals;
+        self.late_dropped += other.late_dropped;
+        // Reorder buffering happens in front of the fan-out, so per-shard
+        // peaks never overlap in time; the max is the relevant bound.
+        self.reorder_buffer_peak = self.reorder_buffer_peak.max(other.reorder_buffer_peak);
+        self.checkpoint_bytes += other.checkpoint_bytes;
+        self.checkpoint_millis += other.checkpoint_millis;
     }
 
     /// Aggregate the snapshots of N parallel executions into one run-level
@@ -238,6 +274,11 @@ mod tests {
             peak_memory_bytes: 4096,
             steady_peak_memory_bytes: 4096,
             final_memory_bytes: 0,
+            late_arrivals: 0,
+            late_dropped: 0,
+            reorder_buffer_peak: 0,
+            checkpoint_bytes: 0,
+            checkpoint_millis: 0,
         };
         let b = MetricsSnapshot {
             cost_units: 50,

@@ -37,11 +37,25 @@ use jit_metrics::MetricsSnapshot;
 use jit_stream::arrival::ArrivalEvent;
 use jit_stream::{ShardPartitioner, Trace};
 use jit_types::{Timestamp, Tuple};
+use serde::{Content, Serialize};
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::thread::JoinHandle;
 
-/// What a worker reports back after ingesting one batch.
+/// One instruction to a shard worker. Every message is acknowledged with
+/// exactly one [`ShardChunk`], so `batches_sent == chunks_seen` remains the
+/// caught-up test for all message kinds.
+enum WorkerMsg {
+    /// Ingest these arrivals.
+    Batch(Vec<ArrivalEvent>),
+    /// Advance the executor's watermark clock (expiry runs here when the
+    /// session was started with the watermark clock enabled).
+    Watermark(Timestamp),
+    /// Reply with a serialised snapshot of the executor's full state.
+    Checkpoint,
+}
+
+/// What a worker reports back after handling one message.
 struct ShardChunk {
     shard: usize,
     /// Results collected at this shard's sink since the previous chunk.
@@ -51,6 +65,9 @@ struct ShardChunk {
     processed_through: Timestamp,
     /// Point-in-time metrics of the shard's executor.
     snapshot: MetricsSnapshot,
+    /// Serialised executor state; present only in reply to
+    /// [`WorkerMsg::Checkpoint`].
+    state: Option<Content>,
 }
 
 impl ShardedRuntime {
@@ -63,34 +80,113 @@ impl ShardedRuntime {
     pub fn start<F>(
         &self,
         exec_config: ExecutorConfig,
+        plan_factory: F,
+    ) -> Result<ShardedSession, RuntimeError>
+    where
+        F: FnMut(usize) -> Result<ExecutablePlan, PlanError>,
+    {
+        self.start_opts(exec_config, false, plan_factory)
+    }
+
+    /// [`ShardedRuntime::start`] with the executors' *watermark clock*
+    /// enabled or disabled. Under the watermark clock, ingestion does not
+    /// advance operator time — the caller drives expiry explicitly through
+    /// [`ShardedSession::advance_watermark`] (the disorder-tolerant engine
+    /// path does this after each reorder-buffer release).
+    pub fn start_opts<F>(
+        &self,
+        exec_config: ExecutorConfig,
+        watermark_clock: bool,
         mut plan_factory: F,
     ) -> Result<ShardedSession, RuntimeError>
     where
         F: FnMut(usize) -> Result<ExecutablePlan, PlanError>,
     {
         let shards = self.config().shards;
-        let mut plans = Vec::with_capacity(shards);
+        let mut executors = Vec::with_capacity(shards);
         for shard in 0..shards {
-            plans.push(plan_factory(shard)?);
+            let mut executor = Executor::new(plan_factory(shard)?, exec_config.clone());
+            executor.set_watermark_clock(watermark_clock);
+            executors.push(executor);
         }
+        Ok(self.launch(executors))
+    }
+
+    /// Rebuild a session from a [`ShardedSession::checkpoint`] blob.
+    ///
+    /// `plan_factory` must produce the same per-shard plans the
+    /// checkpointed session ran (restore replays serialised operator state
+    /// into freshly built plans; a mismatch in shard count or operator
+    /// layout is a typed [`RuntimeError::Restore`], never silent
+    /// corruption). Executors are built and restored *on the calling
+    /// thread*, so every restore error surfaces here before any worker
+    /// thread exists.
+    pub fn start_restored<F>(
+        &self,
+        exec_config: ExecutorConfig,
+        watermark_clock: bool,
+        checkpoint: &Content,
+        mut plan_factory: F,
+    ) -> Result<ShardedSession, RuntimeError>
+    where
+        F: FnMut(usize) -> Result<ExecutablePlan, PlanError>,
+    {
+        const TY: &str = "ShardedSession checkpoint";
+        let restore_err = |e: serde::Error| RuntimeError::Restore(e.to_string());
+        let map = checkpoint
+            .as_map()
+            .ok_or_else(|| RuntimeError::Restore("checkpoint body is not an object".to_string()))?;
+        let shards: u64 = serde::field(map, "shards", TY).map_err(restore_err)?;
+        if shards as usize != self.config().shards {
+            return Err(RuntimeError::Restore(format!(
+                "checkpoint holds {shards} shards, runtime is configured for {}",
+                self.config().shards
+            )));
+        }
+        let shards = shards as usize;
+        let states = serde::field::<Content>(map, "states", TY).map_err(restore_err)?;
+        let states = states.as_seq_n(shards, TY).map_err(restore_err)?;
+        let buffered: Vec<Vec<Tuple>> = serde::field(map, "buffered", TY).map_err(restore_err)?;
+        let progress: Vec<Timestamp> = serde::field(map, "progress", TY).map_err(restore_err)?;
+        let last_push_ts: Timestamp = serde::field(map, "last_push_ts", TY).map_err(restore_err)?;
+        if buffered.len() != shards || progress.len() != shards {
+            return Err(RuntimeError::Restore(format!(
+                "checkpoint carries {} buffered streams / {} progress marks for {shards} shards",
+                buffered.len(),
+                progress.len()
+            )));
+        }
+        let mut executors = Vec::with_capacity(shards);
+        for (shard, state) in states.iter().enumerate() {
+            let mut executor = Executor::new(plan_factory(shard)?, exec_config.clone());
+            executor.set_watermark_clock(watermark_clock);
+            executor
+                .restore_checkpoint(state)
+                .map_err(|e| RuntimeError::Restore(format!("shard {shard}: {e}")))?;
+            executors.push(executor);
+        }
+        let mut session = self.launch(executors);
+        session.buffered = buffered.into_iter().map(VecDeque::from).collect();
+        session.progress = progress;
+        session.last_push_ts = last_push_ts;
+        Ok(session)
+    }
+
+    /// Move the prepared executors onto their worker threads.
+    fn launch(&self, executors: Vec<Executor>) -> ShardedSession {
+        let shards = executors.len();
         let (chunk_tx, chunk_rx) = mpsc::channel::<ShardChunk>();
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
-        for (shard, plan) in plans.into_iter().enumerate() {
-            let (tx, rx) = mpsc::sync_channel::<Vec<ArrivalEvent>>(self.config().channel_capacity);
+        for (shard, mut executor) in executors.into_iter().enumerate() {
+            let (tx, rx) = mpsc::sync_channel::<WorkerMsg>(self.config().channel_capacity);
             let chunk_tx = chunk_tx.clone();
-            let exec_config = exec_config.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("jit-shard-{shard}"))
                 .spawn(move || {
-                    let mut executor = Executor::new(plan, exec_config);
                     let mut arrivals = 0u64;
-                    while let Ok(batch) = rx.recv() {
-                        arrivals += batch.len() as u64;
-                        for event in batch {
-                            executor.ingest(event.source, event.tuple);
-                        }
-                        // One chunk per batch: progress for the watermark,
+                    while let Ok(msg) = rx.recv() {
+                        // One chunk per message: progress for the watermark,
                         // drained results, and a point-in-time snapshot.
                         // The snapshot is a handful of scalar reads —
                         // measured noise next to ingesting a batch — and
@@ -99,11 +195,26 @@ impl ShardedRuntime {
                         // otherwise have buffered itself. A send error
                         // means the session stopped listening; results
                         // still reach it through the join below.
+                        let state = match msg {
+                            WorkerMsg::Batch(batch) => {
+                                arrivals += batch.len() as u64;
+                                for event in batch {
+                                    executor.ingest(event.source, event.tuple);
+                                }
+                                None
+                            }
+                            WorkerMsg::Watermark(w) => {
+                                executor.advance_watermark(w);
+                                None
+                            }
+                            WorkerMsg::Checkpoint => Some(executor.checkpoint()),
+                        };
                         let _ = chunk_tx.send(ShardChunk {
                             shard,
                             results: executor.take_results(),
                             processed_through: executor.current_time(),
                             snapshot: executor.metrics().snapshot(),
+                            state,
                         });
                     }
                     let results_count = executor.results_count();
@@ -123,7 +234,7 @@ impl ShardedRuntime {
             workers.push(Some(handle));
         }
         drop(chunk_tx); // the receiver disconnects once every worker exits
-        Ok(ShardedSession {
+        ShardedSession {
             partitioner: self.partitioner().clone(),
             batch_size: self.config().batch_size,
             senders,
@@ -136,7 +247,7 @@ impl ShardedRuntime {
             chunks_seen: vec![0; shards],
             latest: vec![MetricsSnapshot::zero(); shards],
             last_push_ts: Timestamp::ZERO,
-        })
+        }
     }
 }
 
@@ -147,7 +258,7 @@ impl ShardedRuntime {
 pub struct ShardedSession {
     partitioner: ShardPartitioner,
     batch_size: usize,
-    senders: Vec<Option<mpsc::SyncSender<Vec<ArrivalEvent>>>>,
+    senders: Vec<Option<mpsc::SyncSender<WorkerMsg>>>,
     pending: Vec<Vec<ArrivalEvent>>,
     chunks: mpsc::Receiver<ShardChunk>,
     workers: Vec<Option<JoinHandle<ShardOutcome>>>,
@@ -212,8 +323,14 @@ impl ShardedSession {
         if batch.is_empty() {
             return;
         }
+        self.send(shard, WorkerMsg::Batch(batch));
+    }
+
+    /// Send one message to shard `shard`, maintaining the
+    /// one-chunk-per-message accounting.
+    fn send(&mut self, shard: usize, msg: WorkerMsg) {
         if let Some(tx) = &self.senders[shard] {
-            if tx.send(batch).is_err() {
+            if tx.send(msg).is_err() {
                 self.senders[shard] = None;
             } else {
                 self.batches_sent[shard] += 1;
@@ -221,13 +338,20 @@ impl ShardedSession {
         }
     }
 
+    /// Record one chunk's results, progress and metrics; returns the
+    /// serialised state when the chunk answers a checkpoint marker.
+    fn absorb(&mut self, chunk: ShardChunk) -> Option<(usize, Content)> {
+        self.buffered[chunk.shard].extend(chunk.results);
+        self.progress[chunk.shard] = self.progress[chunk.shard].max(chunk.processed_through);
+        self.latest[chunk.shard] = chunk.snapshot;
+        self.chunks_seen[chunk.shard] += 1;
+        chunk.state.map(|state| (chunk.shard, state))
+    }
+
     /// Absorb every chunk the workers have reported so far.
     fn drain_chunks(&mut self) {
         while let Ok(chunk) = self.chunks.try_recv() {
-            self.buffered[chunk.shard].extend(chunk.results);
-            self.progress[chunk.shard] = self.progress[chunk.shard].max(chunk.processed_through);
-            self.latest[chunk.shard] = chunk.snapshot;
-            self.chunks_seen[chunk.shard] += 1;
+            self.absorb(chunk);
         }
     }
 
@@ -288,6 +412,69 @@ impl ShardedSession {
             }
         }
         released
+    }
+
+    /// Broadcast a watermark to every shard.
+    ///
+    /// Pending batches are dispatched first, so each executor processes
+    /// every arrival already pushed *before* it purges state at `w` — the
+    /// same push-then-advance ordering `Executor::advance_watermark`
+    /// documents. Under the watermark clock this is what drives expiry;
+    /// without it the call still advances the session's progress floor.
+    pub fn advance_watermark(&mut self, w: Timestamp) {
+        self.last_push_ts = self.last_push_ts.max(w);
+        for shard in 0..self.workers.len() {
+            self.dispatch(shard);
+            self.send(shard, WorkerMsg::Watermark(w));
+        }
+    }
+
+    /// Take a consistent snapshot of the whole sharded execution.
+    ///
+    /// Dispatches anything pending, sends a checkpoint marker down every
+    /// shard channel, and blocks until each shard has acknowledged every
+    /// message up to and including the marker. Per-shard FIFO ordering makes
+    /// the set of replies a consistent cut: every shard's state reflects
+    /// exactly the arrivals and watermarks sent before this call, and the
+    /// session's own buffers cover everything those executors emitted.
+    ///
+    /// The returned blob (shard states plus the session's unpolled results,
+    /// progress marks and push frontier) feeds
+    /// [`ShardedRuntime::start_restored`].
+    pub fn checkpoint(&mut self) -> Result<Content, RuntimeError> {
+        let shards = self.workers.len();
+        let mut states: Vec<Option<Content>> = Vec::new();
+        states.resize_with(shards, || None);
+        for shard in 0..shards {
+            self.dispatch(shard);
+            self.send(shard, WorkerMsg::Checkpoint);
+            if self.senders[shard].is_none() {
+                return Err(RuntimeError::Restore(format!(
+                    "shard {shard} is no longer running; cannot checkpoint"
+                )));
+            }
+        }
+        while states.iter().any(|s| s.is_none()) {
+            let chunk = self.chunks.recv().map_err(|_| {
+                RuntimeError::Restore("a shard worker exited during checkpoint".to_string())
+            })?;
+            if let Some((shard, state)) = self.absorb(chunk) {
+                states[shard] = Some(state);
+            }
+        }
+        let states: Vec<Content> = states.into_iter().map(|s| s.expect("barrier")).collect();
+        let buffered: Vec<Vec<Tuple>> = self
+            .buffered
+            .iter()
+            .map(|b| b.iter().cloned().collect())
+            .collect();
+        Ok(Content::Map(vec![
+            ("shards".to_string(), Content::U64(shards as u64)),
+            ("states".to_string(), Content::Seq(states)),
+            ("buffered".to_string(), buffered.to_content()),
+            ("progress".to_string(), self.progress.to_content()),
+            ("last_push_ts".to_string(), self.last_push_ts.to_content()),
+        ]))
     }
 
     /// A live aggregate of the workers' most recently reported metrics
@@ -490,6 +677,43 @@ mod tests {
         let outcome = live.finish().unwrap();
         assert_eq!(outcome.snapshot.stats.tuples_arrived, 120);
         assert!(mid.cost_units <= outcome.snapshot.cost_units);
+    }
+
+    #[test]
+    fn checkpoint_restores_mid_stream_and_replays_the_tail() {
+        let runtime = ShardedRuntime::new(RuntimeConfig::with_shards(2).with_batch_size(4));
+        let mut live = runtime
+            .start(ExecutorConfig::default(), |_| forward_plan())
+            .unwrap();
+        for i in 0..40 {
+            live.push(event(i));
+        }
+        let ckpt = live.checkpoint().unwrap();
+        drop(live); // simulated crash: channels close, workers exit
+        let mut restored = runtime
+            .start_restored(ExecutorConfig::default(), false, &ckpt, |_| forward_plan())
+            .unwrap();
+        for i in 40..80 {
+            restored.push(event(i));
+        }
+        let outcome = restored.finish().unwrap();
+        assert_eq!(outcome.results.len(), 80);
+        assert!(outcome.results.windows(2).all(|w| w[0].ts() <= w[1].ts()));
+        assert_eq!(outcome.results_count, 80); // counter carried across restore
+    }
+
+    #[test]
+    fn restore_rejects_a_shard_count_mismatch() {
+        let two = ShardedRuntime::new(RuntimeConfig::with_shards(2));
+        let mut live = two
+            .start(ExecutorConfig::default(), |_| forward_plan())
+            .unwrap();
+        let ckpt = live.checkpoint().unwrap();
+        let three = ShardedRuntime::new(RuntimeConfig::with_shards(3));
+        let err = three
+            .start_restored(ExecutorConfig::default(), false, &ckpt, |_| forward_plan())
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Restore(_)), "{err}");
     }
 
     #[test]

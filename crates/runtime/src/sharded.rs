@@ -44,6 +44,9 @@ pub enum RuntimeError {
         /// Panic payload, if it was a string.
         message: String,
     },
+    /// A checkpoint did not match this runtime's configuration, or its
+    /// per-shard state failed to deserialise.
+    Restore(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -52,6 +55,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Plan(e) => write!(f, "plan construction failed: {e}"),
             RuntimeError::ShardPanicked { shard, message } => {
                 write!(f, "shard {shard} panicked: {message}")
+            }
+            RuntimeError::Restore(detail) => {
+                write!(f, "restoring a sharded checkpoint failed: {detail}")
             }
         }
     }

@@ -2,7 +2,7 @@
 
 use crate::selection::{ClassId, SelectionIndex};
 use jit_core::ExecutionMode;
-use jit_engine::{Engine, EngineError, EngineOutcome, Session};
+use jit_engine::{CheckpointError, DisorderPolicy, Engine, EngineError, EngineOutcome, Session};
 use jit_exec::operator::SuppressionDigest;
 use jit_exec::state::{OperatorState, StateCache, StateIndexMode};
 use jit_metrics::MetricsSnapshot;
@@ -12,6 +12,7 @@ use jit_runtime::RuntimeConfig;
 use jit_types::{
     BaseTuple, Catalog, ColumnRef, Signature, SourceId, Timestamp, Tuple, Value, Window,
 };
+use serde::{Content, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -92,6 +93,12 @@ pub struct ServeOptions {
     /// Assert data-level key-partitionability (see
     /// [`jit_engine::EngineBuilder::assume_key_partitionable`]).
     pub assume_partitionable: bool,
+    /// How the tier treats out-of-order arrivals. Default
+    /// [`DisorderPolicy::Strict`] (a regression is a typed
+    /// [`ServeError::OutOfOrder`]); bounded tolerance gives every pipeline
+    /// a watermark-driven reorder stage and turns too-late arrivals into
+    /// counted drops (surfaced through each pipeline's metrics).
+    pub disorder: DisorderPolicy,
 }
 
 impl Default for ServeOptions {
@@ -102,6 +109,7 @@ impl Default for ServeOptions {
             runtime: None,
             key_column: 0,
             assume_partitionable: false,
+            disorder: DisorderPolicy::Strict,
         }
     }
 }
@@ -319,22 +327,7 @@ impl QueryRegistry {
     /// shared selection index before routing, so pipelines only ever see
     /// passing tuples.
     fn start_pipeline(&mut self, canonical: CanonicalQuery) -> Result<usize, ServeError> {
-        let mut builder = Engine::builder()
-            .query_shape(
-                canonical.shape(),
-                canonical.predicates(),
-                canonical.window(),
-            )
-            .mode(self.options.mode)
-            .state_index(self.options.state_index)
-            .partition_key_column(self.options.key_column);
-        if self.options.assume_partitionable {
-            builder = builder.assume_key_partitionable();
-        }
-        if let Some(config) = &self.options.runtime {
-            builder = builder.sharded(config.clone());
-        }
-        let session = builder.build()?.session()?;
+        let session = self.engine_for(&canonical)?.session()?;
         let idx = self.pipelines.len();
         self.pipelines.push(Some(Pipeline {
             canonical,
@@ -344,6 +337,29 @@ impl QueryRegistry {
             stem_keys: Vec::new(),
         }));
         Ok(idx)
+    }
+
+    /// The engine configuration for one canonical query — the same recipe
+    /// whether the pipeline starts fresh ([`Self::start_pipeline`]) or is
+    /// rebuilt from a checkpoint ([`Self::restore`]).
+    fn engine_for(&self, canonical: &CanonicalQuery) -> Result<Engine, ServeError> {
+        let mut builder = Engine::builder()
+            .query_shape(
+                canonical.shape(),
+                canonical.predicates(),
+                canonical.window(),
+            )
+            .mode(self.options.mode)
+            .state_index(self.options.state_index)
+            .partition_key_column(self.options.key_column)
+            .disorder(self.options.disorder);
+        if self.options.assume_partitionable {
+            builder = builder.assume_key_partitionable();
+        }
+        if let Some(config) = &self.options.runtime {
+            builder = builder.sharded(config.clone());
+        }
+        Ok(builder.build()?)
     }
 
     /// Remove a query. Its share of the pipeline's ready results is
@@ -397,12 +413,17 @@ impl QueryRegistry {
             return Err(ServeError::UnknownSource(source));
         }
         if tuple.ts < self.last_push_ts {
-            return Err(ServeError::OutOfOrder {
-                pushed: tuple.ts,
-                last: self.last_push_ts,
-            });
+            // A timestamp regression is only an error under the strict
+            // policy; under bounded disorder each pipeline's reorder stage
+            // re-sequences (or drops and counts) the arrival itself.
+            if matches!(self.options.disorder, DisorderPolicy::Strict) {
+                return Err(ServeError::OutOfOrder {
+                    pushed: tuple.ts,
+                    last: self.last_push_ts,
+                });
+            }
         }
-        self.last_push_ts = tuple.ts;
+        self.last_push_ts = self.last_push_ts.max(tuple.ts);
         self.stats.arrivals += 1;
         self.seqs
             .entry(source)
@@ -486,7 +507,9 @@ impl QueryRegistry {
                 ts: tuple.ts,
                 values: tuple.values.clone(),
             });
-            pipeline.session.push(local, remapped)?;
+            // Under bounded disorder a too-late arrival comes back as a
+            // counted LateDrop in the pipeline's metrics, not an error.
+            let _ = pipeline.session.push(local, remapped)?;
             routed += 1;
         }
         self.stats.routed += routed;
@@ -624,6 +647,182 @@ impl QueryRegistry {
             }
         }
         total
+    }
+
+    /// Serialise the registry's full resumable state: every pipeline's
+    /// session (operator state, reorder stage, progress), the shared
+    /// leaf-window contents, undelivered mailboxes, per-source sequence
+    /// counters, the push frontier and the sharing statistics.
+    ///
+    /// What is *not* serialised — and deliberately so — is the query text
+    /// and registration structure: a checkpoint is restored by creating a
+    /// fresh registry with the same options, re-registering the identical
+    /// queries in the identical order (queries are configuration, not
+    /// state), and then calling [`QueryRegistry::restore`], which validates
+    /// the structure against the blob and rehydrates the state. On sharded
+    /// backends this call blocks until every shard reaches its checkpoint
+    /// barrier.
+    pub fn checkpoint(&mut self) -> Result<Content, ServeError> {
+        let mut pipelines = Vec::with_capacity(self.pipelines.len());
+        for slot in self.pipelines.iter_mut() {
+            match slot {
+                None => pipelines.push(Content::Null),
+                Some(pipeline) => pipelines.push(pipeline.session.checkpoint()?),
+            }
+        }
+        let mut stem_states = Vec::new();
+        for key in self.stem_key_order() {
+            let state = self.stems.peek(&key).expect("acquired stem");
+            stem_states.push(state.borrow().checkpoint());
+        }
+        let mut mailboxes: Vec<(u64, Vec<Tuple>)> = self
+            .mailboxes
+            .iter()
+            .map(|(qid, tuples)| (qid.0, tuples.clone()))
+            .collect();
+        mailboxes.sort_by_key(|(qid, _)| *qid);
+        let mut seqs: Vec<(SourceId, u64)> = self.seqs.iter().map(|(s, n)| (*s, *n)).collect();
+        seqs.sort_by_key(|(s, _)| *s);
+        Ok(Content::Map(vec![
+            ("next_query".to_string(), Content::U64(self.next_query)),
+            ("last_push_ts".to_string(), self.last_push_ts.to_content()),
+            ("pipelines".to_string(), Content::Seq(pipelines)),
+            ("stems".to_string(), Content::Seq(stem_states)),
+            ("mailboxes".to_string(), mailboxes.to_content()),
+            ("seqs".to_string(), seqs.to_content()),
+            (
+                "stats".to_string(),
+                Content::Map(vec![
+                    ("arrivals".to_string(), Content::U64(self.stats.arrivals)),
+                    ("routed".to_string(), Content::U64(self.stats.routed)),
+                    (
+                        "classifications_saved".to_string(),
+                        Content::U64(self.stats.classifications_saved),
+                    ),
+                    (
+                        "cross_pollination_hits".to_string(),
+                        Content::U64(self.stats.cross_pollination_hits),
+                    ),
+                ]),
+            ),
+        ]))
+    }
+
+    /// Rehydrate a registry from a [`QueryRegistry::checkpoint`] blob.
+    ///
+    /// Call on a registry whose queries have been re-registered identically
+    /// (same texts, same order, same options) but which has seen no
+    /// arrivals. Structural mismatches — different query count, pipeline
+    /// layout or stem set — are typed errors
+    /// ([`jit_engine::CheckpointError::Mismatch`] under
+    /// [`ServeError::Engine`]); nothing is partially applied on the
+    /// pipeline level before validation passes. Suppression digests are not
+    /// part of the checkpoint — call [`QueryRegistry::refresh_suppression`]
+    /// after restoring if cross-pollination accounting is wanted.
+    pub fn restore(&mut self, checkpoint: &Content) -> Result<(), ServeError> {
+        const TY: &str = "QueryRegistry checkpoint";
+        let mismatch = |detail: String| {
+            ServeError::Engine(EngineError::Checkpoint(CheckpointError::Mismatch(detail)))
+        };
+        let corrupt = |e: serde::Error| {
+            ServeError::Engine(EngineError::Checkpoint(CheckpointError::Serde(e)))
+        };
+        let map = checkpoint
+            .as_map()
+            .ok_or_else(|| mismatch("checkpoint body is not an object".to_string()))?;
+        let next_query: u64 = serde::field(map, "next_query", TY).map_err(corrupt)?;
+        if next_query != self.next_query {
+            return Err(mismatch(format!(
+                "checkpoint covers {next_query} registrations, this registry has {}; \
+                 re-register the identical queries in the identical order first",
+                self.next_query
+            )));
+        }
+        let blobs = serde::field::<Content>(map, "pipelines", TY).map_err(corrupt)?;
+        let blobs = match &blobs {
+            Content::Seq(items) if items.len() == self.pipelines.len() => items.clone(),
+            Content::Seq(items) => {
+                return Err(mismatch(format!(
+                    "checkpoint holds {} pipeline slots, registry has {}",
+                    items.len(),
+                    self.pipelines.len()
+                )))
+            }
+            _ => return Err(mismatch("pipelines is not a sequence".to_string())),
+        };
+        // Rebuild every live pipeline's session before touching anything,
+        // so a failing slot leaves the registry unchanged.
+        let mut sessions: Vec<Option<Session>> = Vec::with_capacity(blobs.len());
+        for (idx, (slot, blob)) in self.pipelines.iter().zip(&blobs).enumerate() {
+            match (slot, blob) {
+                (None, Content::Null) => sessions.push(None),
+                (Some(pipeline), blob) if !matches!(blob, Content::Null) => {
+                    let session = self.engine_for(&pipeline.canonical)?.restore(blob)?;
+                    sessions.push(Some(session));
+                }
+                _ => {
+                    return Err(mismatch(format!(
+                        "pipeline slot {idx} is live on one side of the restore only"
+                    )))
+                }
+            }
+        }
+        let stem_blobs = serde::field::<Content>(map, "stems", TY).map_err(corrupt)?;
+        let stem_order = self.stem_key_order();
+        let stem_blobs = stem_blobs.as_seq_n(stem_order.len(), TY).map_err(corrupt)?;
+        for (key, blob) in stem_order.iter().zip(stem_blobs.iter()) {
+            let state = self.stems.peek(key).expect("acquired stem");
+            state
+                .borrow_mut()
+                .restore_checkpoint(blob)
+                .map_err(corrupt)?;
+        }
+        for (slot, session) in self.pipelines.iter_mut().zip(sessions) {
+            if let (Some(pipeline), Some(session)) = (slot.as_mut(), session) {
+                pipeline.session = session;
+            }
+        }
+        let mailboxes: Vec<(u64, Vec<Tuple>)> =
+            serde::field(map, "mailboxes", TY).map_err(corrupt)?;
+        for (qid, tuples) in mailboxes {
+            let slot = self
+                .mailboxes
+                .get_mut(&QueryId(qid))
+                .ok_or_else(|| mismatch(format!("checkpoint mailbox for unknown query Q{qid}")))?;
+            *slot = tuples;
+        }
+        let seqs: Vec<(SourceId, u64)> = serde::field(map, "seqs", TY).map_err(corrupt)?;
+        self.seqs = seqs.into_iter().collect();
+        self.last_push_ts = serde::field(map, "last_push_ts", TY).map_err(corrupt)?;
+        let stats = serde::field::<Content>(map, "stats", TY).map_err(corrupt)?;
+        let stats_map = stats
+            .as_map()
+            .ok_or_else(|| mismatch("stats is not an object".to_string()))?;
+        self.stats = SharingStats {
+            arrivals: serde::field(stats_map, "arrivals", TY).map_err(corrupt)?,
+            routed: serde::field(stats_map, "routed", TY).map_err(corrupt)?,
+            classifications_saved: serde::field(stats_map, "classifications_saved", TY)
+                .map_err(corrupt)?,
+            cross_pollination_hits: serde::field(stats_map, "cross_pollination_hits", TY)
+                .map_err(corrupt)?,
+        };
+        self.digests.clear();
+        Ok(())
+    }
+
+    /// The shared leaf-window keys in deterministic first-use order
+    /// (pipeline slot order, then local source order) — the order both
+    /// [`Self::checkpoint`] and [`Self::restore`] serialise stem states in.
+    fn stem_key_order(&self) -> Vec<StemKey> {
+        let mut order: Vec<StemKey> = Vec::new();
+        for pipeline in self.pipelines.iter().flatten() {
+            for key in &pipeline.stem_keys {
+                if !order.contains(key) {
+                    order.push(*key);
+                }
+            }
+        }
+        order
     }
 
     /// How much work the tier is currently sharing.
@@ -891,6 +1090,67 @@ mod tests {
         let q1_total = early.len() + finished[0].1.results.len();
         assert_eq!(q1_total, finished[1].1.results.len());
         assert_eq!(finished[1].1.results.len(), 4);
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_every_query_mid_stream() {
+        let mut reg = QueryRegistry::new(catalog());
+        let q1 = reg.register(JOIN_AB).unwrap();
+        let q2 = reg
+            .register("SELECT * FROM A [RANGE 2 minutes], B [RANGE 2 minutes] WHERE A.k = B.k")
+            .unwrap();
+        push(&mut reg, 0, 0, vec![7, 1]);
+        push(&mut reg, 1, 10, vec![7, 2]);
+        // q1 has polled, q2 has not: the checkpoint must preserve both the
+        // delivered-already cursor and the undelivered mailbox.
+        assert_eq!(reg.poll_results(q1).unwrap().len(), 1);
+        let blob = reg.checkpoint().unwrap();
+
+        // "Crash": rebuild from configuration + blob.
+        let mut restored = QueryRegistry::new(catalog());
+        let r1 = restored.register(JOIN_AB).unwrap();
+        let r2 = restored
+            .register("SELECT * FROM A [RANGE 2 minutes], B [RANGE 2 minutes] WHERE A.k = B.k")
+            .unwrap();
+        assert_eq!((r1, r2), (q1, q2), "identical registration order");
+        restored.restore(&blob).unwrap();
+
+        // The shared windows came back…
+        assert_eq!(
+            restored.window_contents(r1, SourceId(0)).unwrap(),
+            reg.window_contents(q1, SourceId(0)).unwrap()
+        );
+        // …and both streams continue identically from the cut.
+        push(&mut reg, 0, 20, vec![7, 3]);
+        push(&mut restored, 0, 20, vec![7, 3]);
+        let live = reg.finish().unwrap();
+        let resumed = restored.finish().unwrap();
+        assert_eq!(live.len(), resumed.len());
+        for ((lq, lo), (rq, ro)) in live.iter().zip(resumed.iter()) {
+            assert_eq!(lq, rq);
+            assert_eq!(lo.results, ro.results);
+        }
+        // q2 never polled: its full stream (A@0×B@10 and A@20×B@10)
+        // survives intact.
+        assert_eq!(resumed[1].1.results.len(), 2);
+        // q1's early poll happened before the cut, so the restored side owes
+        // it only the post-poll remainder.
+        assert_eq!(resumed[0].1.results.len(), 1);
+    }
+
+    #[test]
+    fn restore_rejects_a_structurally_different_registry() {
+        let mut reg = QueryRegistry::new(catalog());
+        reg.register(JOIN_AB).unwrap();
+        let blob = reg.checkpoint().unwrap();
+        // No queries re-registered: the structure cannot match.
+        let mut empty = QueryRegistry::new(catalog());
+        assert!(matches!(
+            empty.restore(&blob),
+            Err(ServeError::Engine(jit_engine::EngineError::Checkpoint(
+                CheckpointError::Mismatch(_)
+            )))
+        ));
     }
 
     #[test]

@@ -89,7 +89,7 @@ fn feed(canonical: &CanonicalQuery, session: &mut jit_engine::Session, arrival: 
         .iter()
         .all(|t| t.predicate().holds_on(&as_tuple).unwrap_or(false));
     if passes {
-        session.push(local, remapped).unwrap();
+        let _ = session.push(local, remapped).unwrap();
     }
 }
 

@@ -19,6 +19,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod arrival;
+pub mod disorder;
 pub mod generator;
 pub mod partition;
 pub mod skew;
@@ -28,6 +29,7 @@ pub mod trace;
 pub mod workload;
 
 pub use arrival::{ArrivalEvent, ArrivalProcess};
+pub use disorder::DisorderSpec;
 pub use generator::WorkloadGenerator;
 pub use partition::ShardPartitioner;
 pub use source::{SourceSpec, ValueDomain};

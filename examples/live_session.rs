@@ -73,7 +73,7 @@ fn main() {
     let stream = readings();
     let mut alarms: Vec<Tuple> = Vec::new();
     for (i, event) in stream.iter().enumerate() {
-        session.push_event(event.clone()).expect("in-order push");
+        let _ = session.push_event(event.clone()).expect("in-order push");
         if (i + 1) % 450 == 0 {
             let fresh = session.poll_results();
             let live = session.metrics_snapshot();

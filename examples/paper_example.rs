@@ -68,7 +68,7 @@ fn main() {
     let mut last_suppressed = 0;
     let mut last_suspends = 0;
     for (label, source, tuple) in arrivals {
-        session
+        let _ = session
             .push(SourceId(source), tuple)
             .expect("in-order push");
         let stats = session.metrics_snapshot().stats;

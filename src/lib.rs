@@ -16,6 +16,9 @@
 //! * [`plan`] — plan construction (bushy / left-deep / M-Join / Eddy).
 //! * [`runtime`] — the sharded parallel runtime: hash-partitioned
 //!   multi-core execution of the same plans.
+//! * [`durable`] — the durability subsystem: watermark-driven disorder
+//!   tolerance (reorder buffer, bounded-lateness policies) and versioned
+//!   state checkpointing for crash recovery.
 //! * [`engine`] — **the public entry point**: the push-based
 //!   `EngineBuilder` → `Engine` → `Session` API serving both the
 //!   single-threaded executor and the sharded runtime behind one
@@ -32,6 +35,7 @@
 //! `examples/serving_tier.rs` for multi-query serving.
 
 pub use jit_core as core;
+pub use jit_durable as durable;
 pub use jit_engine as engine;
 pub use jit_exec as exec;
 pub use jit_harness as harness;
@@ -46,7 +50,10 @@ pub use jit_types as types;
 /// built on the library.
 pub mod prelude {
     pub use jit_core::policy::{ExecutionMode, JitPolicy, MnsDetection};
-    pub use jit_engine::{Backend, Engine, EngineBuilder, EngineError, EngineOutcome, Session};
+    pub use jit_engine::{
+        Backend, CheckpointError, CheckpointStats, DisorderPolicy, Engine, EngineBuilder,
+        EngineError, EngineOutcome, PushOutcome, Session,
+    };
     pub use jit_exec::executor::{Executor, ExecutorConfig};
     pub use jit_exec::output;
     pub use jit_exec::state::{JoinKeySpec, StateIndexMode};
@@ -60,7 +67,7 @@ pub mod prelude {
     pub use jit_serve::{QueryId, QueryRegistry, ServeOptions};
     pub use jit_stream::arrival::ArrivalEvent;
     pub use jit_stream::workload::WorkloadSpec;
-    pub use jit_stream::{ShardPartitioner, Trace, WorkloadGenerator};
+    pub use jit_stream::{DisorderSpec, ShardPartitioner, Trace, WorkloadGenerator};
     pub use jit_types::{
         BaseTuple, Catalog, ColumnRef, Duration, EquiPredicate, Feedback, FeedbackCommand,
         PredicateSet, SourceId, SourceSet, Timestamp, Tuple, Value, Window,

@@ -26,8 +26,8 @@ fn run_query(cql: &str, sharded: bool) -> EngineOutcome {
     // only v > 5 survives the filter, so exactly 5 joins remain.
     for v in 1..=10i64 {
         let ts = v as u64 * 1_000;
-        session.push(SourceId(0), base(0, v as u64, ts, v)).unwrap();
-        session
+        let _ = session.push(SourceId(0), base(0, v as u64, ts, v)).unwrap();
+        let _ = session
             .push(SourceId(1), base(1, v as u64, ts + 10, v))
             .unwrap();
     }
@@ -86,8 +86,8 @@ fn filtered_cql_works_in_jit_mode() {
     let mut session = engine.session().unwrap();
     for v in 1..=10i64 {
         let ts = v as u64 * 1_000;
-        session.push(SourceId(0), base(0, v as u64, ts, v)).unwrap();
-        session
+        let _ = session.push(SourceId(0), base(0, v as u64, ts, v)).unwrap();
+        let _ = session
             .push(SourceId(1), base(1, v as u64, ts + 10, v))
             .unwrap();
     }

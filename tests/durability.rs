@@ -1,0 +1,274 @@
+//! Durability: crash recovery from checkpoints and bounded disorder
+//! tolerance.
+//!
+//! The headline contract is exactly-once recovery: push a prefix of a trace,
+//! checkpoint to a file, drop the session ("crash"), restore from the file,
+//! replay the tail from the replay cursor (`Session::pushed`), and the
+//! concatenation of everything polled plus the final flush equals an
+//! uninterrupted run's results byte for byte — on both backends, in both
+//! REF and JIT mode, under both disorder policies.
+
+use jit_dsms::prelude::*;
+use std::path::PathBuf;
+
+fn spec() -> WorkloadSpec {
+    parallel_workload(3, 16)
+        .with_rate(1.0)
+        .with_window_minutes(2.0)
+        .with_duration(Duration::from_secs(100))
+        .with_seed(905)
+}
+
+/// A unique checkpoint path per test (the workspace has no tempfile dep).
+fn ckpt_path(tag: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("jit-dsms-test-{}-{tag}.ckpt", std::process::id()));
+    path
+}
+
+/// Uninterrupted oracle: push everything, polling periodically.
+fn run_straight(builder: &EngineBuilder, events: &[ArrivalEvent]) -> Vec<Tuple> {
+    let engine = builder.clone().build().expect("engine builds");
+    let mut session = engine.session().expect("session opens");
+    let mut out = Vec::new();
+    for (i, event) in events.iter().enumerate() {
+        let _ = session.push_event(event.clone()).expect("push");
+        if i % 40 == 0 {
+            out.extend(session.poll_results());
+        }
+    }
+    let outcome = session.finish().expect("finish");
+    out.extend(outcome.results);
+    out
+}
+
+/// Crash-recovery run: push a prefix, checkpoint, drop the session, restore
+/// from the file and replay the tail from the replay cursor.
+fn run_with_crash(
+    builder: &EngineBuilder,
+    events: &[ArrivalEvent],
+    cut: usize,
+    tag: &str,
+) -> Vec<Tuple> {
+    let path = ckpt_path(tag);
+    let engine = builder.clone().build().expect("engine builds");
+    let mut session = engine.session().expect("session opens");
+    let mut out = Vec::new();
+    for (i, event) in events.iter().take(cut).enumerate() {
+        let _ = session.push_event(event.clone()).expect("push");
+        if i % 40 == 0 {
+            out.extend(session.poll_results());
+        }
+    }
+    session.checkpoint_to(&path).expect("checkpoint writes");
+    drop(session); // crash: all in-memory state is gone
+
+    let engine = builder.clone().build().expect("engine rebuilds");
+    let mut session = engine.restore_file(&path).expect("restore");
+    // The replay cursor counts every consumed arrival, dropped or not.
+    assert_eq!(session.pushed() as usize, cut, "replay cursor survived");
+    for event in events.iter().skip(cut) {
+        let _ = session.push_event(event.clone()).expect("replayed push");
+    }
+    let outcome = session.finish().expect("finish");
+    out.extend(outcome.results);
+    std::fs::remove_file(&path).ok();
+    out
+}
+
+#[test]
+fn crash_recovery_is_exactly_once_on_every_backend_and_mode() {
+    let spec = spec();
+    let shape = PlanShape::bushy(3);
+    let trace = WorkloadGenerator::generate(&spec);
+    let events: Vec<ArrivalEvent> = trace.iter().cloned().collect();
+    let cut = events.len() / 2;
+    assert!(cut > 10, "workload too small to mean anything");
+
+    for (mode_tag, mode) in [
+        ("ref", ExecutionMode::Ref),
+        ("jit", ExecutionMode::Jit(JitPolicy::full())),
+    ] {
+        for (backend_tag, builder) in [
+            (
+                "single",
+                Engine::builder().workload(&spec, &shape).mode(mode),
+            ),
+            (
+                "sharded",
+                Engine::builder()
+                    .workload(&spec, &shape)
+                    .mode(mode)
+                    .sharded(RuntimeConfig::with_shards(3)),
+            ),
+        ] {
+            let straight = run_straight(&builder, &events);
+            assert!(!straight.is_empty(), "{mode_tag}/{backend_tag}: no results");
+            let recovered =
+                run_with_crash(&builder, &events, cut, &format!("{mode_tag}-{backend_tag}"));
+            assert_eq!(
+                straight, recovered,
+                "{mode_tag}/{backend_tag}: recovery diverged from the uninterrupted run"
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_recovery_under_bounded_disorder_keeps_the_reorder_stage() {
+    let spec = spec();
+    let shape = PlanShape::bushy(3);
+    let trace = WorkloadGenerator::generate(&spec);
+    let lateness = Duration::from_secs(5);
+    // Disorder the trace with delays under the bound: nothing is dropped,
+    // but at any cut some arrivals sit buffered in the reorder stage.
+    let events = DisorderSpec::new(0.1, lateness, 31).apply(&trace);
+    let builder = Engine::builder()
+        .workload(&spec, &shape)
+        .disorder(DisorderPolicy::Bounded(lateness));
+    let straight = run_straight(&builder, &events);
+    assert!(!straight.is_empty());
+    // Cut at an odd index to make a non-empty buffer at the cut likely.
+    let recovered = run_with_crash(&builder, &events, events.len() / 2 + 3, "disorder");
+    assert_eq!(straight, recovered);
+
+    let sharded = builder.sharded(RuntimeConfig::with_shards(2));
+    let straight = run_straight(&sharded, &events);
+    let recovered = run_with_crash(&sharded, &events, events.len() / 2 + 3, "disorder-sharded");
+    assert_eq!(straight, recovered);
+}
+
+#[test]
+fn bounded_policy_tolerates_disorder_within_the_bound_exactly() {
+    // In-order strict run vs disordered bounded run with lateness ≥ the
+    // injected delay bound: the same result multiset, nothing dropped.
+    let spec = spec();
+    let shape = PlanShape::bushy(3);
+    let trace = WorkloadGenerator::generate(&spec);
+    let max_delay = Duration::from_secs(4);
+    let disordered = DisorderSpec::new(0.08, max_delay, 17).apply(&trace);
+    assert!(
+        disordered.windows(2).any(|w| w[0].ts > w[1].ts),
+        "the disordered trace must actually be out of order"
+    );
+
+    let in_order: Vec<ArrivalEvent> = trace.iter().cloned().collect();
+    let strict = run_straight(&Engine::builder().workload(&spec, &shape), &in_order);
+
+    let bounded = Engine::builder()
+        .workload(&spec, &shape)
+        .disorder(DisorderPolicy::Bounded(max_delay));
+    let engine = bounded.build().unwrap();
+    let mut session = engine.session().unwrap();
+    for event in &disordered {
+        let outcome = session.push_event(event.clone()).unwrap();
+        assert!(outcome.is_accepted(), "no drop within the bound");
+    }
+    let outcome = session.finish().unwrap();
+    assert_eq!(outcome.snapshot.late_dropped, 0);
+    assert!(outcome.snapshot.late_arrivals > 0);
+    assert!(outcome.snapshot.reorder_buffer_peak > 0);
+    assert!(
+        output::same_results(&strict, &outcome.results),
+        "bounded reordering changed the result set: missing {}, extra {}",
+        output::missing_from(&strict, &outcome.results).len(),
+        output::missing_from(&outcome.results, &strict).len()
+    );
+    assert!(output::is_temporally_ordered(&outcome.results));
+}
+
+#[test]
+fn arrivals_beyond_the_bound_are_typed_drops_not_errors() {
+    let spec = spec();
+    let shape = PlanShape::bushy(3);
+    let trace = WorkloadGenerator::generate(&spec);
+    // Delays up to 30 s against a 1 s lateness bound: the tail of the delay
+    // distribution must be dropped, visibly and without erroring.
+    let disordered = DisorderSpec::new(0.15, Duration::from_secs(30), 23).apply(&trace);
+    let engine = Engine::builder()
+        .workload(&spec, &shape)
+        .disorder(DisorderPolicy::Bounded(Duration::from_secs(1)))
+        .build()
+        .unwrap();
+    let mut session = engine.session().unwrap();
+    let mut drops = 0u64;
+    for event in &disordered {
+        if session.push_event(event.clone()).unwrap() == PushOutcome::LateDrop {
+            drops += 1;
+        }
+    }
+    assert!(drops > 0, "the workload must exercise the drop path");
+    let outcome = session.finish().unwrap();
+    assert_eq!(outcome.snapshot.late_dropped, drops);
+    assert!(outcome.snapshot.late_arrivals >= drops);
+    assert!(output::is_temporally_ordered(&outcome.results));
+}
+
+#[test]
+fn corrupted_and_mismatched_checkpoint_files_are_typed_errors() {
+    let spec = spec();
+    let shape = PlanShape::bushy(3);
+    let builder = Engine::builder().workload(&spec, &shape);
+    let engine = builder.clone().build().unwrap();
+
+    // Not a checkpoint at all.
+    let path = ckpt_path("garbage");
+    std::fs::write(&path, "not a checkpoint").unwrap();
+    assert!(matches!(
+        engine.restore_file(&path),
+        Err(EngineError::Checkpoint(CheckpointError::Corrupt(_)))
+    ));
+
+    // Right magic, unsupported version.
+    std::fs::write(&path, "JITDSMS-CHECKPOINT v99\n{}").unwrap();
+    match engine.restore_file(&path) {
+        Err(EngineError::Checkpoint(CheckpointError::VersionMismatch { found, supported })) => {
+            assert_eq!((found, supported), (99, 1));
+        }
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
+
+    // Valid header, truncated body.
+    std::fs::write(&path, "JITDSMS-CHECKPOINT v1\n{\"pushed\": 3,").unwrap();
+    assert!(matches!(
+        engine.restore_file(&path),
+        Err(EngineError::Checkpoint(CheckpointError::Corrupt(_)))
+    ));
+
+    // A checkpoint from a strict engine cannot restore into a bounded one.
+    let trace = WorkloadGenerator::generate(&spec);
+    let mut session = engine.session().unwrap();
+    for event in trace.iter().take(20) {
+        let _ = session.push_event(event.clone()).unwrap();
+    }
+    session.checkpoint_to(&path).unwrap();
+    let bounded = builder
+        .disorder(DisorderPolicy::Bounded(Duration::from_secs(1)))
+        .build()
+        .unwrap();
+    assert!(matches!(
+        bounded.restore_file(&path),
+        Err(EngineError::Checkpoint(CheckpointError::Mismatch(_)))
+    ));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn checkpoint_cost_is_visible_in_metrics() {
+    let spec = spec();
+    let shape = PlanShape::bushy(3);
+    let trace = WorkloadGenerator::generate(&spec);
+    let engine = Engine::builder().workload(&spec, &shape).build().unwrap();
+    let mut session = engine.session().unwrap();
+    for event in trace.iter().take(50) {
+        let _ = session.push_event(event.clone()).unwrap();
+    }
+    let path = ckpt_path("metrics");
+    let stats = session.checkpoint_to(&path).unwrap();
+    assert!(stats.bytes > 0);
+    let snapshot = session.metrics_snapshot();
+    assert_eq!(snapshot.checkpoint_bytes, stats.bytes);
+    assert!(snapshot.checkpoint_millis >= stats.millis);
+    session.finish().unwrap();
+    std::fs::remove_file(&path).ok();
+}

@@ -24,7 +24,7 @@ fn push_through(builder: EngineBuilder, trace: &Trace) -> EngineOutcome {
     let engine = builder.build().expect("engine builds");
     let mut session = engine.session().expect("session opens");
     for event in trace.iter() {
-        session.push_event(event.clone()).expect("in-order push");
+        let _ = session.push_event(event.clone()).expect("in-order push");
     }
     session.finish().expect("session finishes")
 }
@@ -134,6 +134,70 @@ fn jit_mode_agrees_across_backends_in_the_no_expiry_regime() {
 }
 
 #[test]
+fn bounded_policy_jit_is_exact_across_backends_even_under_expiry() {
+    // The no-expiry caveat of the previous test is a strict-policy
+    // artefact: under `DisorderPolicy::Bounded` the watermark clock drives
+    // expiry at the same logical instants on every backend, so sharded and
+    // single-threaded JIT agree exactly *with* windows expiring mid-stream
+    // — and stay exact per watermark while results stream out.
+    let spec = shared_key_spec()
+        .with_window_minutes(1.0)
+        .with_duration(Duration::from_secs(150));
+    let shape = PlanShape::bushy(4);
+    let lateness = Duration::from_secs(3);
+    let trace = WorkloadGenerator::generate(&spec);
+    let events = DisorderSpec::new(0.05, lateness, 77).apply(&trace);
+
+    let builder = Engine::builder()
+        .workload(&spec, &shape)
+        .mode(ExecutionMode::Jit(JitPolicy::full()))
+        .disorder(DisorderPolicy::Bounded(lateness));
+    let mut single = builder.clone().build().unwrap().session().unwrap();
+    let mut sharded = builder
+        .clone()
+        .sharded(RuntimeConfig::with_shards(4))
+        .build()
+        .unwrap()
+        .session()
+        .unwrap();
+
+    let mut single_seen: Vec<Tuple> = Vec::new();
+    let mut sharded_seen: Vec<Tuple> = Vec::new();
+    for (i, event) in events.iter().enumerate() {
+        let _ = single.push_event(event.clone()).unwrap();
+        let _ = sharded.push_event(event.clone()).unwrap();
+        if i % 25 == 0 {
+            single_seen.extend(single.poll_results());
+            sharded_seen.extend(sharded.poll_results());
+            // Exact per watermark: everything the sharded backend has
+            // released, the single-threaded one has already released too.
+            assert!(
+                output::missing_from(&sharded_seen, &single_seen).is_empty(),
+                "sharded JIT released a result single-threaded JIT has not (push {i})"
+            );
+        }
+    }
+    let single_out = single.finish().unwrap();
+    let sharded_out = sharded.finish().unwrap();
+    single_seen.extend(single_out.results);
+    sharded_seen.extend(sharded_out.results);
+
+    assert!(single_out.snapshot.late_arrivals > 0, "disorder must bite");
+    assert!(
+        single_out.snapshot.stats.purged_tuples > 0,
+        "sanity: expiry is active (windows do not hold the whole stream)"
+    );
+    assert!(
+        output::same_results(&single_seen, &sharded_seen),
+        "bounded JIT diverged across backends: missing {}, extra {}",
+        output::missing_from(&single_seen, &sharded_seen).len(),
+        output::missing_from(&sharded_seen, &single_seen).len()
+    );
+    assert!(!output::has_duplicates(&sharded_seen));
+    assert_eq!(single_out.results_count, sharded_out.results_count);
+}
+
+#[test]
 fn non_partitionable_workload_on_sharded_backend_is_a_typed_build_error() {
     // No shared key: the clique predicates equate *different* columns of
     // each source pair, so no single hash column is safe.
@@ -186,13 +250,13 @@ fn cql_round_trip_parse_engine_results() {
             vec![Value::int(x)],
         ))
     };
-    session.push(SourceId(0), tuple(0, 0, 0, 7)).unwrap();
-    session.push(SourceId(1), tuple(1, 0, 1, 7)).unwrap(); // joins a0
-    session.push(SourceId(1), tuple(1, 1, 2, 9)).unwrap(); // no partner yet
+    let _ = session.push(SourceId(0), tuple(0, 0, 0, 7)).unwrap();
+    let _ = session.push(SourceId(1), tuple(1, 0, 1, 7)).unwrap(); // joins a0
+    let _ = session.push(SourceId(1), tuple(1, 1, 2, 9)).unwrap(); // no partner yet
     let early = session.poll_results();
     assert_eq!(early.len(), 1, "the x=7 pair is available immediately");
-    session.push(SourceId(0), tuple(0, 1, 70, 9)).unwrap(); // b1 expired (68s > 60s)
-    session.push(SourceId(1), tuple(1, 2, 75, 9)).unwrap(); // joins a1 (5s apart)
+    let _ = session.push(SourceId(0), tuple(0, 1, 70, 9)).unwrap(); // b1 expired (68s > 60s)
+    let _ = session.push(SourceId(1), tuple(1, 2, 75, 9)).unwrap(); // joins a1 (5s apart)
     let outcome = session.finish().expect("session finishes");
     assert_eq!(outcome.results_count, 2, "x=7 pair and the fresh x=9 pair");
     assert_eq!(outcome.results.len(), 1, "one result was already polled");
@@ -214,11 +278,11 @@ fn out_of_order_push_is_a_typed_error() {
             vec![Value::int(1)],
         ))
     };
-    session.push(SourceId(0), tuple(10)).unwrap();
+    let _ = session.push(SourceId(0), tuple(10)).unwrap();
     let err = session.push(SourceId(0), tuple(5));
     assert!(matches!(err, Err(EngineError::OutOfOrder { .. })));
     // The session remains usable for in-order pushes.
-    session.push(SourceId(0), tuple(10)).unwrap();
+    let _ = session.push(SourceId(0), tuple(10)).unwrap();
     session.finish().unwrap();
 }
 
@@ -240,7 +304,7 @@ fn polled_and_final_results_partition_the_stream() {
         let mut session = engine.session().unwrap();
         let mut streamed = Vec::new();
         for (i, event) in trace.iter().enumerate() {
-            session.push_event(event.clone()).unwrap();
+            let _ = session.push_event(event.clone()).unwrap();
             if i % 50 == 0 {
                 streamed.extend(session.poll_results());
             }

@@ -109,6 +109,51 @@ fn jit_matches_sequential_ref_result_set() {
 }
 
 #[test]
+fn bounded_watermark_clock_pins_jit_exactly_at_every_shard_count() {
+    // Under the strict policy, sharded JIT can differ from single-threaded
+    // JIT at the expiry margin (per-shard suppression state). The bounded
+    // disorder policy replaces per-arrival expiry with watermark-driven
+    // expiry, which is identical on every backend — so JIT equality becomes
+    // exact at every shard count even with windows expiring mid-stream.
+    let spec = spec(4, 7).with_duration(Duration::from_secs(150));
+    let shape = PlanShape::bushy(4);
+    let lateness = Duration::from_secs(3);
+    let trace = WorkloadGenerator::generate(&spec);
+    let events = DisorderSpec::new(0.05, lateness, 13).apply(&trace);
+
+    let run = |builder: EngineBuilder| {
+        let mut session = builder.build().unwrap().session().unwrap();
+        for event in &events {
+            let _ = session.push_event(event.clone()).unwrap();
+        }
+        session.finish().unwrap()
+    };
+    let builder = Engine::builder()
+        .workload(&spec, &shape)
+        .mode(ExecutionMode::Jit(JitPolicy::full()))
+        .disorder(DisorderPolicy::Bounded(lateness));
+    let single = run(builder.clone());
+    assert!(single.results_count > 0);
+    assert!(
+        single.snapshot.stats.purged_tuples > 0,
+        "expiry must be active for this test to pin anything new"
+    );
+    for shards in SHARD_COUNTS {
+        let parallel = run(builder.clone().sharded(RuntimeConfig::with_shards(shards)));
+        assert!(
+            output::same_results(&single.results, &parallel.results),
+            "bounded JIT at {} shards diverged: missing {}, extra {}",
+            shards,
+            output::missing_from(&single.results, &parallel.results).len(),
+            output::missing_from(&parallel.results, &single.results).len(),
+        );
+        assert_eq!(parallel.results_count, single.results_count);
+        assert!(!output::has_duplicates(&parallel.results));
+        assert!(output::is_temporally_ordered(&parallel.results));
+    }
+}
+
+#[test]
 fn parallel_runs_are_deterministic() {
     let spec = spec(3, 99);
     let shape = PlanShape::bushy(3);
