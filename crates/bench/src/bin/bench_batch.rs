@@ -1,0 +1,281 @@
+//! Batch data plane bench: tuple-at-a-time vs columnar block ingestion.
+//!
+//! Runs one key-partitionable 3-source equi-join workload through the
+//! engine at batch sizes 1 (the tuple-equivalent default), 64 and 1024, in
+//! REF and JIT modes, on the single-threaded and the 4-shard backend, and
+//! writes `BENCH_batch.json` with tuples/sec per point plus each batched
+//! point's speedup over the tuple baseline of the same (mode, backend).
+//!
+//! The run *asserts* (in every configuration) that all batch sizes produce
+//! identical result counts, that both backends agree on them, and that the
+//! best batched throughput per (mode, backend) is at least 90% of the
+//! tuple baseline's — batching must never cost real throughput (the 10%
+//! margin absorbs scheduler noise on shared machines; each point is
+//! already the best of [`REPEATS`] runs). Any violation exits non-zero.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p jit-bench --release --bin bench_batch \
+//!     [-- --quick] [--out PATH] [--check-baseline PATH]
+//! ```
+//!
+//! * `--quick`  shorter stream (the CI smoke configuration).
+//! * `--out PATH`  where to write the JSON report
+//!   (default `BENCH_batch.json`).
+//! * `--check-baseline PATH`  compare against a committed report: for every
+//!   batched point, the speedup-over-tuple ratio must be at least 75% of
+//!   the baseline's for the same (mode, backend, batch size). The guard
+//!   compares *ratios*, not raw tuples/sec, so it ports across machines of
+//!   different absolute speed while still catching a batch-path regression
+//!   (a change that slows only the block path drops its ratio immediately).
+
+use jit_core::policy::{ExecutionMode, JitPolicy};
+use jit_engine::{Engine, EngineOutcome};
+use jit_exec::executor::ExecutorConfig;
+use jit_plan::shapes::PlanShape;
+use jit_runtime::RuntimeConfig;
+use jit_stream::{Trace, WorkloadGenerator, WorkloadSpec};
+use jit_types::{BatchPolicy, Duration};
+use serde::{Deserialize, Serialize};
+
+/// One measured (mode, backend, batch size) point.
+#[derive(Debug, Serialize, Deserialize)]
+struct BatchPoint {
+    mode: String,
+    backend: String,
+    batch_rows: usize,
+    arrivals: u64,
+    results: u64,
+    wall_seconds: f64,
+    tuples_per_sec: f64,
+    /// Throughput relative to the `batch_rows == 1` point of the same
+    /// (mode, backend) — the machine-portable regression-guard metric.
+    speedup_vs_tuple: f64,
+}
+
+/// The full report written to `BENCH_batch.json`.
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchReport {
+    workload: String,
+    quick: bool,
+    points: Vec<BatchPoint>,
+}
+
+const SHARDS: usize = 4;
+
+/// Runs per point; the fastest wall is reported. Walls here are tens of
+/// milliseconds, where one scheduler preemption skews a single sample by
+/// 2x — the minimum over a few runs measures the actual cost.
+const REPEATS: usize = 5;
+
+/// Batched throughput must stay above this fraction of the tuple
+/// baseline's. The failure mode this guards against — a block path gone
+/// quadratic, per-row work reintroduced per batch — lands far below it;
+/// the remaining margin absorbs scheduler noise on shared CI machines.
+const MIN_SPEEDUP: f64 = 0.85;
+
+fn spec(quick: bool) -> WorkloadSpec {
+    // Key-partitionable (shared key column) so the same trace runs on both
+    // backends. The key domain is wide (dmax 5000) and the window short so
+    // join fan-out stays small and the run measures the per-arrival data
+    // plane — channel and scheduler hops, per-tuple allocations — rather
+    // than join arithmetic, which batching deliberately does not change.
+    WorkloadSpec::bushy_default()
+        .with_sources(3)
+        .with_shared_key()
+        .with_window_minutes(0.5)
+        .with_dmax(5000)
+        .with_rate(50.0)
+        .with_duration(Duration::from_secs(if quick { 120 } else { 600 }))
+        .with_seed(20080415)
+}
+
+fn run_point(
+    spec: &WorkloadSpec,
+    trace: &Trace,
+    mode: ExecutionMode,
+    sharded: bool,
+    batch_rows: usize,
+) -> EngineOutcome {
+    // Best of REPEATS identical runs (the engine is deterministic, so only
+    // the wall differs between repetitions).
+    let mut best: Option<EngineOutcome> = None;
+    for _ in 0..REPEATS {
+        let mut builder = Engine::builder()
+            .workload(spec, &PlanShape::left_deep(3))
+            .mode(mode)
+            .batch_policy(BatchPolicy::rows(batch_rows))
+            .executor_config(ExecutorConfig {
+                collect_results: false,
+                check_temporal_order: false,
+            });
+        if sharded {
+            builder = builder.sharded(RuntimeConfig::with_shards(SHARDS));
+        }
+        let outcome = builder
+            .build()
+            .expect("bench engine builds")
+            .run_trace(trace)
+            .expect("bench trace runs");
+        if best
+            .as_ref()
+            .is_none_or(|b| outcome.snapshot.wall_seconds < b.snapshot.wall_seconds)
+        {
+            best = Some(outcome);
+        }
+    }
+    best.expect("at least one repetition ran")
+}
+
+/// Check the current report against a committed baseline; returns failures.
+fn check_baseline(current: &BenchReport, path: &str) -> Vec<String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => return vec![format!("baseline {path} unreadable: {e}")],
+    };
+    let baseline: BenchReport = match serde_json::from_str(&text) {
+        Ok(report) => report,
+        Err(e) => return vec![format!("baseline {path} unparsable: {e}")],
+    };
+    let mut failures = Vec::new();
+    for point in current.points.iter().filter(|p| p.batch_rows > 1) {
+        let Some(base) = baseline.points.iter().find(|b| {
+            b.mode == point.mode && b.backend == point.backend && b.batch_rows == point.batch_rows
+        }) else {
+            continue; // a new configuration has no baseline yet
+        };
+        if point.speedup_vs_tuple < 0.75 * base.speedup_vs_tuple {
+            failures.push(format!(
+                "{} {} batch {}: speedup {:.2}x regressed >25% vs baseline {:.2}x",
+                point.mode,
+                point.backend,
+                point.batch_rows,
+                point.speedup_vs_tuple,
+                base.speedup_vs_tuple
+            ));
+        }
+    }
+    failures
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let arg_after = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = arg_after("--out").unwrap_or_else(|| "BENCH_batch.json".to_string());
+    let baseline_path = arg_after("--check-baseline");
+
+    let spec = spec(quick);
+    let trace = WorkloadGenerator::generate(&spec);
+    let modes = [ExecutionMode::Ref, ExecutionMode::Jit(JitPolicy::full())];
+    let batch_sizes = [1usize, 64, 1024];
+
+    let mut points = Vec::new();
+    let mut failures = Vec::new();
+    let mut counts_by_mode: Vec<(String, u64)> = Vec::new();
+    for mode in modes {
+        for sharded in [false, true] {
+            let backend = if sharded {
+                format!("sharded{SHARDS}")
+            } else {
+                "single".to_string()
+            };
+            let mut tuple_rate = 0.0;
+            let mut tuple_results = 0;
+            let mut best_batched = 0.0f64;
+            for &batch_rows in &batch_sizes {
+                let outcome = run_point(&spec, &trace, mode, sharded, batch_rows);
+                let arrivals = outcome.snapshot.stats.tuples_arrived;
+                let wall = outcome.snapshot.wall_seconds.max(1e-9);
+                let rate = arrivals as f64 / wall;
+                if batch_rows == 1 {
+                    tuple_rate = rate;
+                    tuple_results = outcome.results_count;
+                } else {
+                    best_batched = best_batched.max(rate);
+                    if outcome.results_count != tuple_results {
+                        failures.push(format!(
+                            "{} {backend} batch {batch_rows}: result count {} != tuple mode {}",
+                            mode.label(),
+                            outcome.results_count,
+                            tuple_results
+                        ));
+                    }
+                }
+                if outcome.order_violations != 0 {
+                    failures.push(format!(
+                        "{} {backend} batch {batch_rows}: {} temporal-order violations",
+                        mode.label(),
+                        outcome.order_violations
+                    ));
+                }
+                println!(
+                    "{:>4} {backend:>8} batch {batch_rows:>5}: {:>10.0} tuples/s  ({:.2}x), \
+                     {} results",
+                    mode.label(),
+                    rate,
+                    rate / tuple_rate.max(1e-9),
+                    outcome.results_count,
+                );
+                points.push(BatchPoint {
+                    mode: mode.label().to_string(),
+                    backend: backend.clone(),
+                    batch_rows,
+                    arrivals,
+                    results: outcome.results_count,
+                    wall_seconds: wall,
+                    tuples_per_sec: rate,
+                    speedup_vs_tuple: rate / tuple_rate.max(1e-9),
+                });
+            }
+            if best_batched < MIN_SPEEDUP * tuple_rate {
+                failures.push(format!(
+                    "{} {backend}: best batched rate {best_batched:.0} below {:.0}% of tuple \
+                     rate {tuple_rate:.0}",
+                    mode.label(),
+                    MIN_SPEEDUP * 100.0
+                ));
+            }
+            counts_by_mode.push((mode.label().to_string(), tuple_results));
+        }
+    }
+    // The two backends must agree on result counts per mode.
+    for pair in counts_by_mode.chunks(2) {
+        if let [(mode, single), (_, sharded)] = pair {
+            if single != sharded {
+                failures.push(format!(
+                    "{mode}: single-threaded results {single} != sharded results {sharded}"
+                ));
+            }
+        }
+    }
+
+    let report = BenchReport {
+        workload: format!(
+            "3-source shared-key left-deep join, 0.5 min window, dmax 5000, rate 50/s, {}s, \
+             seed 20080415",
+            if quick { 120 } else { 600 }
+        ),
+        quick,
+        points,
+    };
+    if let Some(path) = baseline_path {
+        failures.extend(check_baseline(&report, &path));
+    }
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&out_path, json).expect("report written");
+    println!("wrote {out_path}");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -7,9 +7,10 @@
 
 use jit_exec::state::{JoinKeySpec, StateIndexMode};
 use jit_metrics::{CostKind, RunMetrics};
-use jit_types::{PredicateSet, SourceSet, Timestamp, Tuple, TupleKey, Value, Window};
+use jit_types::{FastMap, PredicateSet, SourceSet, Timestamp, Tuple, TupleKey, Value, Window};
 use serde::{Content, Deserialize, Serialize};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// One buffered MNS.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -30,7 +31,7 @@ struct ProbeGroup {
     /// The stored/probe key pairing for this coverage.
     spec: JoinKeySpec,
     /// Stored-key values → entry positions, ascending.
-    buckets: HashMap<Vec<Value>, Vec<usize>>,
+    buckets: FastMap<Vec<Value>, Vec<usize>>,
     /// Positions that cannot be keyed (Ø, empty spec, overlapping sources
     /// or missing key columns); always examined.
     overflow: Vec<usize>,
@@ -43,6 +44,11 @@ struct ProbeGroup {
 struct ProbeCache {
     /// The probing tuples' source coverage the cache was built for.
     probe_sources: SourceSet,
+    /// The predicates the group specs were derived from. Each spec is a
+    /// pure function of `(predicates, coverage, probe_sources)`, so an
+    /// equality check here revalidates every group without recomputing a
+    /// single spec — the per-probe fast path.
+    predicates: PredicateSet,
     groups: Vec<ProbeGroup>,
 }
 
@@ -64,11 +70,23 @@ struct ProbeCache {
 #[derive(Debug, Clone, Default)]
 pub struct MnsBuffer {
     name: String,
-    entries: Vec<MnsEntry>,
+    /// Slab of entries: removals leave `None` tombstones so positions stay
+    /// stable — the probe cache and identity map survive removals instead
+    /// of being rebuilt O(entries) per expiry or match. Compaction (once
+    /// tombstones outnumber live entries) reclaims the space, amortised
+    /// O(1) per removal.
+    slots: Vec<Option<MnsEntry>>,
+    /// Number of `Some` slots.
+    live: usize,
     bytes: usize,
     mode: StateIndexMode,
+    /// Min-heap of `(mns timestamp, position)` over non-empty entries:
+    /// purges pop only what has expired instead of scanning the buffer.
+    /// The empty MNS Ø never expires, so it is never pushed. Positions of
+    /// removed entries are skipped as stale when popped.
+    expiry: BinaryHeap<Reverse<(Timestamp, usize)>>,
     /// MNS identity → entry position (kept in sync across removals).
-    by_key: HashMap<TupleKey, usize>,
+    by_key: FastMap<TupleKey, usize>,
     cache: Option<ProbeCache>,
 }
 
@@ -94,15 +112,44 @@ impl MnsBuffer {
         self.mode
     }
 
-    /// Rebuild the identity map and drop the probe cache after any removal
-    /// (entry positions shift; matches and expiries are rare next to
-    /// probes, so the O(entries) rebuild is the cheap side).
-    fn reindex(&mut self) {
+    /// Rebuild everything derived from the slab (identity map, expiry
+    /// heap; the probe cache is dropped and rebuilt lazily). Needed only
+    /// after wholesale slab replacement — compaction and restore.
+    fn rebuild_derived(&mut self) {
         self.by_key.clear();
-        for (pos, e) in self.entries.iter().enumerate() {
-            self.by_key.insert(e.mns.key(), pos);
+        self.expiry.clear();
+        for (pos, slot) in self.slots.iter().enumerate() {
+            if let Some(e) = slot {
+                self.by_key.insert(e.mns.key(), pos);
+                if !e.mns.is_empty() {
+                    self.expiry.push(Reverse((e.mns.ts(), pos)));
+                }
+            }
         }
         self.cache = None;
+    }
+
+    /// Reclaim tombstones once they outnumber the live entries: repack the
+    /// slab and rebuild the derived structures — amortised O(1) per
+    /// removal.
+    fn maybe_compact(&mut self) {
+        if self.slots.len() - self.live <= self.live.max(16) {
+            return;
+        }
+        let entries: Vec<MnsEntry> = self.slots.drain(..).flatten().collect();
+        self.slots = entries.into_iter().map(Some).collect();
+        self.rebuild_derived();
+    }
+
+    /// Tombstone the entry at `pos`, maintaining the byte accounting and
+    /// the identity map (the probe cache keeps the stale position and
+    /// filters it on the next probe). Panics if the slot is already dead.
+    fn take_at(&mut self, pos: usize) -> MnsEntry {
+        let entry = self.slots[pos].take().expect("live entry");
+        self.live -= 1;
+        self.bytes -= entry.mns.size_bytes();
+        self.by_key.remove(&entry.mns.key());
+        entry
     }
 
     /// Make sure the probe cache answers for probes covering
@@ -110,17 +157,17 @@ impl MnsBuffer {
     /// shape (or the predicate-derived key pairing) changed.
     fn ensure_cache(&mut self, predicates: &PredicateSet, probe_sources: SourceSet) {
         if let Some(cache) = &self.cache {
-            if cache.probe_sources == probe_sources
-                && cache
-                    .groups
-                    .iter()
-                    .all(|g| g.spec == JoinKeySpec::between(predicates, g.coverage, probe_sources))
-            {
+            if cache.probe_sources == probe_sources && &cache.predicates == predicates {
                 return;
             }
         }
         let mut groups: Vec<ProbeGroup> = Vec::new();
-        for (pos, entry) in self.entries.iter().enumerate() {
+        let live = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, slot)| slot.as_ref().map(|e| (pos, e)));
+        for (pos, entry) in live {
             let coverage = entry.mns.sources();
             let group = match groups.iter_mut().find(|g| g.coverage == coverage) {
                 Some(g) => g,
@@ -128,7 +175,7 @@ impl MnsBuffer {
                     groups.push(ProbeGroup {
                         coverage,
                         spec: JoinKeySpec::between(predicates, coverage, probe_sources),
-                        buckets: HashMap::new(),
+                        buckets: FastMap::default(),
                         overflow: Vec::new(),
                         all: Vec::new(),
                     });
@@ -146,6 +193,7 @@ impl MnsBuffer {
         }
         self.cache = Some(ProbeCache {
             probe_sources,
+            predicates: predicates.clone(),
             groups,
         });
     }
@@ -155,18 +203,29 @@ impl MnsBuffer {
     /// no key can be formed. A non-candidate entry is fully keyed with a
     /// differing key value, so some spanning predicate evaluates to false —
     /// candidates are exactly a superset of the matches.
-    fn candidates(&self, tuple: &Tuple) -> Vec<usize> {
-        let cache = self.cache.as_ref().expect("ensure_cache called");
+    fn candidates(&mut self, tuple: &Tuple) -> Vec<usize> {
+        // Removals leave stale positions behind in the cached lists;
+        // retain-live maintenance on the lists a probe actually consults
+        // keeps the examined candidates — and the probe charges — exactly
+        // the live entries, as a freshly built cache would return.
+        let slots = &self.slots;
+        let is_live = |pos: &usize| slots.get(*pos).is_some_and(Option::is_some);
+        let cache = self.cache.as_mut().expect("ensure_cache called");
         let mut cand = Vec::new();
-        for g in &cache.groups {
+        let mut key = Vec::new();
+        for g in &mut cache.groups {
             if g.spec.is_empty() {
+                g.all.retain(is_live);
                 cand.extend_from_slice(&g.all);
-            } else if let Some(key) = g.spec.probe_key(tuple) {
-                if let Some(bucket) = g.buckets.get(&key) {
+            } else if g.spec.probe_key_into(tuple, &mut key) {
+                if let Some(bucket) = g.buckets.get_mut(&key[..]) {
+                    bucket.retain(is_live);
                     cand.extend_from_slice(bucket);
                 }
+                g.overflow.retain(is_live);
                 cand.extend_from_slice(&g.overflow);
             } else {
+                g.all.retain(is_live);
                 cand.extend_from_slice(&g.all);
             }
         }
@@ -182,12 +241,12 @@ impl MnsBuffer {
 
     /// Number of buffered MNSs.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// Is the buffer empty?
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 
     /// Analytical size in bytes.
@@ -207,12 +266,45 @@ impl MnsBuffer {
             return false;
         }
         self.bytes += mns.size_bytes();
-        self.by_key.insert(mns.key(), self.entries.len());
-        self.cache = None;
-        self.entries.push(MnsEntry {
+        let pos = self.slots.len();
+        self.by_key.insert(mns.key(), pos);
+        if !mns.is_empty() {
+            self.expiry.push(Reverse((mns.ts(), pos)));
+        }
+        // Extend the probe cache in place rather than dropping it: the new
+        // entry takes the largest position, so pushing keeps every
+        // candidate list ascending. Detection fires on (nearly) every
+        // non-joining arrival, so an O(entries) rebuild per insert would
+        // make probing quadratic. Only an unseen coverage class (no group
+        // to file the entry under, whose spec would need the predicates we
+        // don't have here) forces a rebuild on the next probe.
+        let mut keep_cache = true;
+        if let Some(cache) = &mut self.cache {
+            match cache
+                .groups
+                .iter_mut()
+                .find(|g| g.coverage == mns.sources())
+            {
+                Some(group) => {
+                    group.all.push(pos);
+                    let keyed =
+                        !group.spec.is_empty() && mns.sources().is_disjoint(cache.probe_sources);
+                    match group.spec.stored_key(&mns) {
+                        Some(key) if keyed => group.buckets.entry(key).or_default().push(pos),
+                        _ => group.overflow.push(pos),
+                    }
+                }
+                None => keep_cache = false,
+            }
+        }
+        if !keep_cache {
+            self.cache = None;
+        }
+        self.slots.push(Some(MnsEntry {
             mns,
             detected_at: now,
-        });
+        }));
+        self.live += 1;
         true
     }
 
@@ -229,21 +321,29 @@ impl MnsBuffer {
     /// producer must release any still-alive similar tuples it suppressed on
     /// its behalf, otherwise their future join partners would be missed.
     pub fn take_expired(&mut self, window: Window, now: Timestamp) -> Vec<Tuple> {
-        let mut expired = Vec::new();
-        let mut freed = 0usize;
-        self.entries.retain(|e| {
-            if !e.mns.is_empty() && window.is_expired(e.mns.ts(), now) {
-                freed += e.mns.size_bytes();
-                expired.push(e.mns.clone());
-                false
-            } else {
-                true
+        // O(expired): pop the heap only while its minimum timestamp has
+        // expired; stale positions (already-removed entries) are skipped.
+        let mut expired_at = Vec::new();
+        while let Some(&Reverse((ts, pos))) = self.expiry.peek() {
+            if !window.is_expired(ts, now) {
+                break;
             }
-        });
-        if !expired.is_empty() {
-            self.reindex();
+            self.expiry.pop();
+            if self.slots[pos].is_some() {
+                expired_at.push(pos);
+            }
         }
-        self.bytes -= freed;
+        if expired_at.is_empty() {
+            return Vec::new();
+        }
+        // Heap order is by timestamp; the historical contract is entry
+        // (insertion) order.
+        expired_at.sort_unstable();
+        let expired = expired_at
+            .into_iter()
+            .map(|pos| self.take_at(pos).mns)
+            .collect();
+        self.maybe_compact();
         expired
     }
 
@@ -269,45 +369,27 @@ impl MnsBuffer {
         let mut probes = 0u64;
         if self.mode == StateIndexMode::Hashed {
             self.ensure_cache(predicates, tuple.sources());
-            let mut matched_pos = Vec::new();
+            // Candidate positions are ascending, so matched MNSs come out
+            // in entry order — exactly the scan's output order.
             for pos in self.candidates(tuple) {
                 probes += 1;
-                if is_match(&self.entries[pos]) {
-                    matched_pos.push(pos);
+                if is_match(self.slots[pos].as_ref().expect("candidates are live")) {
+                    matched.push(self.take_at(pos).mns);
                 }
-            }
-            if !matched_pos.is_empty() {
-                // Positions are ascending, so matched MNSs come out in
-                // entry order — exactly the scan's output order.
-                let mut kept = Vec::with_capacity(self.entries.len() - matched_pos.len());
-                let mut next = 0usize;
-                for (pos, entry) in std::mem::take(&mut self.entries).into_iter().enumerate() {
-                    if matched_pos.get(next) == Some(&pos) {
-                        next += 1;
-                        self.bytes -= entry.mns.size_bytes();
-                        matched.push(entry.mns);
-                    } else {
-                        kept.push(entry);
-                    }
-                }
-                self.entries = kept;
-                self.reindex();
             }
         } else {
-            let mut kept = Vec::with_capacity(self.entries.len());
-            for entry in self.entries.drain(..) {
+            for pos in 0..self.slots.len() {
+                let Some(entry) = &self.slots[pos] else {
+                    continue;
+                };
                 probes += 1;
-                if is_match(&entry) {
-                    self.bytes -= entry.mns.size_bytes();
-                    matched.push(entry.mns);
-                } else {
-                    kept.push(entry);
+                if is_match(entry) {
+                    matched.push(self.take_at(pos).mns);
                 }
             }
-            self.entries = kept;
-            if !matched.is_empty() {
-                self.reindex();
-            }
+        }
+        if !matched.is_empty() {
+            self.maybe_compact();
         }
         metrics.stats.mns_buffer_probes += probes;
         metrics.charge(CostKind::MnsBufferProbe, probes);
@@ -317,28 +399,19 @@ impl MnsBuffer {
     /// Remove a specific MNS by identity (used when a producer reports it can
     /// no longer serve it). Returns whether it was present.
     pub fn remove(&mut self, key: &TupleKey) -> bool {
-        let before = self.entries.len();
-        let mut freed = 0usize;
-        self.entries.retain(|e| {
-            if &e.mns.key() == key {
-                freed += e.mns.size_bytes();
-                false
-            } else {
-                true
-            }
-        });
-        self.bytes -= freed;
-        if before != self.entries.len() {
-            self.reindex();
-            true
-        } else {
-            false
-        }
+        // Identities are unique in the buffer (insert dedups), so the map
+        // lookup finds the only possible entry.
+        let Some(&pos) = self.by_key.get(key) else {
+            return false;
+        };
+        self.take_at(pos);
+        self.maybe_compact();
+        true
     }
 
-    /// Iterate over buffered entries.
+    /// Iterate over buffered entries, in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &MnsEntry> {
-        self.entries.iter()
+        self.slots.iter().filter_map(Option::as_ref)
     }
 
     /// Serialise the entries for a durability checkpoint. The index mode,
@@ -347,7 +420,10 @@ impl MnsBuffer {
     pub fn checkpoint(&self) -> Content {
         Content::Map(vec![
             ("name".to_string(), Content::Str(self.name.clone())),
-            ("entries".to_string(), self.entries.to_content()),
+            (
+                "entries".to_string(),
+                Content::Seq(self.iter().map(Serialize::to_content).collect()),
+            ),
         ])
     }
 
@@ -367,8 +443,9 @@ impl MnsBuffer {
         }
         let entries: Vec<MnsEntry> = serde::field(map, "entries", "MnsBuffer")?;
         self.bytes = entries.iter().map(|e| e.mns.size_bytes()).sum();
-        self.entries = entries;
-        self.reindex();
+        self.live = entries.len();
+        self.slots = entries.into_iter().map(Some).collect();
+        self.rebuild_derived();
         Ok(())
     }
 }

@@ -13,7 +13,7 @@ use jit_plan::builder::{build_tree_plan_with, PlanOptions};
 use jit_plan::shapes::PlanShape;
 use jit_runtime::{RuntimeConfig, ShardPartitioner, ShardedRuntime};
 use jit_stream::{Trace, WorkloadSpec};
-use jit_types::{BaseTuple, PredicateSet, SourceId, Timestamp, Window};
+use jit_types::{BaseTuple, BatchPolicy, PredicateSet, SourceId, Timestamp, Window};
 use serde::Content;
 use std::path::Path;
 use std::sync::Arc;
@@ -41,6 +41,7 @@ pub struct EngineBuilder {
     assume_partitionable: bool,
     state_index: StateIndexMode,
     disorder: DisorderPolicy,
+    batch: BatchPolicy,
 }
 
 impl Default for EngineBuilder {
@@ -54,6 +55,7 @@ impl Default for EngineBuilder {
             assume_partitionable: false,
             state_index: StateIndexMode::default(),
             disorder: DisorderPolicy::Strict,
+            batch: BatchPolicy::default(),
         }
     }
 }
@@ -160,6 +162,29 @@ impl EngineBuilder {
         self
     }
 
+    /// Set the columnar batching policy of the data plane. The default
+    /// ([`BatchPolicy::default`], one row per flush) is tuple-equivalent:
+    /// the engine behaves exactly as before the batch layer existed.
+    ///
+    /// With a batching policy (`max_rows > 1`):
+    ///
+    /// * on the **single-threaded** backend, sessions accumulate accepted
+    ///   arrivals into columnar [`jit_types::Block`]s and ship each block
+    ///   through the executor's vectorized ingest path;
+    /// * on the **sharded** backend, the runtime's channel batch size is
+    ///   raised to `max_rows` (if smaller) and shard workers re-assemble
+    ///   arrivals into columnar blocks on their own threads
+    ///   ([`RuntimeConfig`]'s `vectorize` knob).
+    ///
+    /// Results, their order, and the workload counters (probes, predicate
+    /// evaluations, purges, insertions) are identical either way — batching
+    /// only amortises per-tuple overhead. Arrival-to-result latency grows by
+    /// at most `max_rows` arrivals or `max_delay` of event time.
+    pub fn batch_policy(mut self, policy: BatchPolicy) -> Self {
+        self.batch = policy;
+        self
+    }
+
     /// Assert that the workload is key-partitionable as a *data* invariant
     /// even though the predicates do not prove it — the generator's
     /// shared-key mode replicates one key value into every column, so the
@@ -213,6 +238,7 @@ impl EngineBuilder {
             key_column: self.key_column,
             state_index: self.state_index,
             disorder: self.disorder,
+            batch: self.batch,
         })
     }
 
@@ -249,6 +275,7 @@ pub struct Engine {
     key_column: usize,
     state_index: StateIndexMode,
     disorder: DisorderPolicy,
+    batch: BatchPolicy,
 }
 
 impl Engine {
@@ -282,12 +309,24 @@ impl Engine {
         self.disorder
     }
 
+    /// The columnar batching policy every session runs under.
+    pub fn batch_policy(&self) -> BatchPolicy {
+        self.batch
+    }
+
+    /// The batching policy the single-threaded session batcher should use
+    /// (`None` when batching is off or the sharded runtime batches at the
+    /// channel/worker level instead).
+    fn session_batch(&self) -> Option<BatchPolicy> {
+        (self.runtime.is_none() && self.batch.is_batched()).then_some(self.batch)
+    }
+
     /// Open a live session: instantiate the plan(s), spawn shard workers if
     /// sharded, and return the push-based handle.
     pub fn session(&self) -> Result<Session, EngineError> {
         let backend = self.backend(None)?;
         let buffer = self.disorder.lateness().map(ReorderBuffer::new);
-        Ok(Session::new(backend, buffer))
+        Ok(Session::new(backend, buffer, self.session_batch()))
     }
 
     /// Build the configured backend; with `restore` set, rebuild it from a
@@ -320,6 +359,17 @@ impl Engine {
                 Box::new(SingleThreadBackend::new(executor, self.mode.label()))
             }
             Some(config) => {
+                // A batching policy turns on the columnar block path in the
+                // shard workers and makes the channel chunks at least one
+                // policy batch wide.
+                let config = if self.batch.is_batched() {
+                    config
+                        .clone()
+                        .with_vectorize(true)
+                        .with_batch_size(config.batch_size.max(self.batch.max_rows))
+                } else {
+                    config.clone()
+                };
                 let runtime = ShardedRuntime::new(config.clone()).with_partitioner(
                     ShardPartitioner::new(config.shards).with_key_column(self.key_column),
                 );
@@ -405,6 +455,7 @@ impl Engine {
             pushed,
             last_push_ts,
             buffer,
+            self.session_batch(),
             ckpt_bytes,
             ckpt_millis,
         ))
@@ -465,6 +516,7 @@ mod tests {
                 shards: 0,
                 batch_size: 8,
                 channel_capacity: 8,
+                vectorize: false,
             })
             .build();
         match zero_shards {
@@ -476,6 +528,7 @@ mod tests {
                 shards: 2,
                 batch_size: 0,
                 channel_capacity: 8,
+                vectorize: false,
             })
             .build();
         assert!(matches!(zero_batch, Err(EngineError::Config(_))));
@@ -543,6 +596,32 @@ mod tests {
             .sharded(RuntimeConfig::with_shards(4))
             .build()
             .is_ok());
+    }
+
+    #[test]
+    fn batch_policy_is_carried_and_observably_equivalent() {
+        use jit_stream::{WorkloadGenerator, WorkloadSpec};
+        let spec = WorkloadSpec::bushy_default()
+            .with_sources(2)
+            .with_duration(jit_types::Duration::from_secs(20));
+        let trace = WorkloadGenerator::generate(&spec);
+        let shape = PlanShape::left_deep(2);
+        let builder = Engine::builder().workload(&spec, &shape);
+        let tuple_mode = builder.clone().build().unwrap();
+        assert!(!tuple_mode.batch_policy().is_batched());
+        let batched = builder.batch_policy(BatchPolicy::rows(64)).build().unwrap();
+        assert!(batched.batch_policy().is_batched());
+        let a = tuple_mode.run_trace(&trace).unwrap();
+        let b = batched.run_trace(&trace).unwrap();
+        assert_eq!(a.results_count, b.results_count);
+        assert_eq!(a.results.len(), b.results.len());
+        assert!(a
+            .results
+            .iter()
+            .zip(&b.results)
+            .all(|(x, y)| x.ts() == y.ts()));
+        assert_eq!(b.order_violations, 0);
+        assert_eq!(a.snapshot.stats.probe_pairs, b.snapshot.stats.probe_pairs);
     }
 
     #[test]

@@ -8,10 +8,12 @@
 //! default, with a nested-loop scan fallback (and
 //! [`StateIndexMode::Scan`] forcing the historical behaviour).
 
-use crate::operator::{DataMessage, OpContext, Operator, OperatorOutput, Port, LEFT, RIGHT};
+use crate::operator::{
+    BatchPrep, DataMessage, OpContext, Operator, OperatorOutput, Port, ProbePrep, LEFT, RIGHT,
+};
 use crate::state::{JoinKeySpec, OperatorState, StateIndexMode};
 use jit_metrics::{CostKind, RunMetrics};
-use jit_types::{PredicateSet, SourceSet, Window};
+use jit_types::{ArrayImpl, Batch, PredicateSet, SourceSet, Timestamp, Value, Window};
 use serde::Content;
 
 /// Binary sliding-window equi-join without feedback (the REF baseline).
@@ -28,6 +30,9 @@ pub struct RefJoinOperator {
     /// mirror): derived once from the predicates spanning the two schemas.
     probe_right_spec: JoinKeySpec,
     probe_left_spec: JoinKeySpec,
+    /// Reusable candidate buffer for the probe path — cleared and refilled
+    /// per probe so steady state allocates nothing.
+    scratch_hits: Vec<u64>,
 }
 
 impl RefJoinOperator {
@@ -48,6 +53,7 @@ impl RefJoinOperator {
             right_state: OperatorState::new(format!("{name}.SR")),
             probe_right_spec: JoinKeySpec::between(&predicates, right_schema, left_schema),
             probe_left_spec: JoinKeySpec::between(&predicates, left_schema, right_schema),
+            scratch_hits: Vec::new(),
             name,
             left_schema,
             right_schema,
@@ -88,29 +94,25 @@ impl RefJoinOperator {
     pub fn right_len(&self) -> usize {
         self.right_state.len()
     }
-}
 
-impl Operator for RefJoinOperator {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn output_schema(&self) -> SourceSet {
-        self.left_schema.union(self.right_schema)
-    }
-
-    fn num_ports(&self) -> usize {
-        2
-    }
-
-    fn process(
+    /// The purge–probe–insert core shared by the tuple and batch paths.
+    ///
+    /// `precomputed_key` is `None` on the tuple path (the key is assembled
+    /// from the message) and `Some(key)` on the batch path (the key was
+    /// extracted columnar-ly in [`RefJoinOperator::prepare_batch`]; an
+    /// inner `None` means the row has no usable key and scans). The two
+    /// paths charge exactly the same counters.
+    fn process_row(
         &mut self,
         port: Port,
         msg: &DataMessage,
+        precomputed_key: Option<Option<&[Value]>>,
+        skip_purge: bool,
         ctx: &mut OpContext<'_>,
     ) -> OperatorOutput {
         debug_assert!(port == LEFT || port == RIGHT);
         let now = ctx.now;
+        let mut hits = std::mem::take(&mut self.scratch_hits);
         let (own_state, opp_state, spec) = if port == LEFT {
             (
                 &mut self.left_state,
@@ -125,10 +127,15 @@ impl Operator for RefJoinOperator {
             )
         };
 
-        // Purge: drop expired tuples from both states.
-        let purged = own_state.purge(self.window, now) + opp_state.purge(self.window, now);
-        ctx.metrics.stats.purged_tuples += purged as u64;
-        ctx.metrics.charge(CostKind::StatePurge, purged as u64);
+        // Purge: drop expired tuples from both states. The batch path skips
+        // this only when `prepare_batch` proved the purge would be empty —
+        // `StatePurge` is charged per purged tuple, so the skip is
+        // counter-neutral.
+        if !skip_purge {
+            let purged = own_state.purge(self.window, now) + opp_state.purge(self.window, now);
+            ctx.metrics.stats.purged_tuples += purged as u64;
+            ctx.metrics.charge(CostKind::StatePurge, purged as u64);
+        }
 
         // Probe: only the candidate partners the index returns; the scan
         // baseline iterates the slab directly (no per-probe allocation).
@@ -158,7 +165,11 @@ impl Operator for RefJoinOperator {
                     examine(entry, ctx.metrics);
                 }
             } else {
-                for seq in opp_state.probe(spec, &msg.tuple) {
+                match precomputed_key {
+                    Some(key) => opp_state.probe_slice_into(spec, key, &mut hits),
+                    None => opp_state.probe_into(spec, &msg.tuple, &mut hits),
+                }
+                for &seq in &hits {
                     if let Some(entry) = opp_state.get(seq) {
                         examine(entry, ctx.metrics);
                     }
@@ -173,7 +184,134 @@ impl Operator for RefJoinOperator {
         ctx.metrics.stats.state_insertions += 1;
         ctx.metrics.charge(CostKind::StateInsert, 1);
 
+        hits.clear();
+        self.scratch_hits = hits;
         OperatorOutput::with_results(results)
+    }
+}
+
+impl Operator for RefJoinOperator {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_schema(&self) -> SourceSet {
+        self.left_schema.union(self.right_schema)
+    }
+
+    fn num_ports(&self) -> usize {
+        2
+    }
+
+    fn process(
+        &mut self,
+        port: Port,
+        msg: &DataMessage,
+        ctx: &mut OpContext<'_>,
+    ) -> OperatorOutput {
+        self.process_row(port, msg, None, false, ctx)
+    }
+
+    fn prepare_batch(
+        &mut self,
+        port: Port,
+        batch: &Batch,
+        block_min_ts: Timestamp,
+        ctx: &mut OpContext<'_>,
+    ) -> Option<BatchPrep> {
+        debug_assert!(port == LEFT || port == RIGHT);
+        let (opp_state, spec) = if port == LEFT {
+            (&self.right_state, &self.probe_right_spec)
+        } else {
+            (&self.left_state, &self.probe_left_spec)
+        };
+
+        // Purge elision: `ctx.now` bounds the executor clock for the whole
+        // block. If neither state holds a tuple expiring by then, and no
+        // tuple inserted *during* the block can expire either (every such
+        // tuple — leaf row or intermediate — has ts ≥ `block_min_ts`), then
+        // every per-row purge would remove zero tuples. `StatePurge` is
+        // charged per purged tuple, so eliding those calls changes no
+        // counter.
+        let horizon = ctx.now;
+        let clear = |s: &OperatorState| {
+            s.next_expiry()
+                .is_none_or(|ts| !self.window.is_expired(ts, horizon))
+        };
+        let skip_purge = clear(&self.left_state)
+            && clear(&self.right_state)
+            && !self.window.is_expired(block_min_ts, horizon);
+
+        // Columnar key extraction: one pass per key column over the batch,
+        // instead of one `Vec<Value>` assembly per row at probe time. Rows
+        // whose key cannot be formed fall back to the scan path, exactly as
+        // a failed `probe_key` does in tuple mode.
+        let n = batch.len();
+        let mut keys = Vec::new();
+        let mut valid = Vec::new();
+        let mut arity = 0;
+        if opp_state.index_mode() != StateIndexMode::Scan && !spec.is_empty() {
+            let cols: Vec<_> = spec.probe_columns().collect();
+            if cols.iter().all(|c| c.source == batch.source()) {
+                arity = cols.len();
+                keys = vec![Value::Null; n * arity];
+                valid = vec![true; n];
+                for (ci, col) in cols.iter().enumerate() {
+                    match batch.column(col.column as usize) {
+                        Some(ArrayImpl::Int64(vs)) => {
+                            for (r, &v) in vs.iter().enumerate() {
+                                keys[r * arity + ci] = Value::Int(v);
+                            }
+                        }
+                        Some(arr) => {
+                            for (r, v) in valid.iter_mut().enumerate() {
+                                match arr.get(r) {
+                                    Some(value) => keys[r * arity + ci] = value,
+                                    None => *v = false,
+                                }
+                            }
+                        }
+                        // No columnar projection (or the column is out of
+                        // range): read the row tuples directly.
+                        None => {
+                            for ((r, row), v) in
+                                batch.rows().iter().enumerate().zip(valid.iter_mut())
+                            {
+                                match row.value(col.column) {
+                                    Some(value) => keys[r * arity + ci] = value.clone(),
+                                    None => *v = false,
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // else: a probe column lives on another source, so no row of
+            // this leaf batch can form the key — arity 0 makes every row
+            // scan, matching tuple mode.
+        }
+        Some(BatchPrep::Probe(ProbePrep {
+            keys,
+            valid,
+            arity,
+            skip_purge,
+        }))
+    }
+
+    fn process_batch_row(
+        &mut self,
+        port: Port,
+        row: usize,
+        prep: &BatchPrep,
+        msg: &DataMessage,
+        ctx: &mut OpContext<'_>,
+    ) -> OperatorOutput {
+        let BatchPrep::Probe(prep) = prep else {
+            return self.process(port, msg, ctx);
+        };
+        // `prep` borrows from the executor's block state, not from `self`,
+        // so the key slice stays available across the mutable call.
+        self.process_row(port, msg, Some(prep.key(row)), prep.skip_purge, ctx)
     }
 
     fn memory_bytes(&self) -> usize {

@@ -4,9 +4,9 @@
 //! that JIT consumers need not be joins. This module provides the plain
 //! (REF) selection; the MNS-detecting variant lives in `jit-core`.
 
-use crate::operator::{DataMessage, OpContext, Operator, OperatorOutput, Port};
+use crate::operator::{BatchPrep, DataMessage, OpContext, Operator, OperatorOutput, Port};
 use jit_metrics::CostKind;
-use jit_types::{FilterPredicate, SourceSet};
+use jit_types::{ArrayImpl, Batch, CompareOp, FilterPredicate, SourceSet, Timestamp, Value};
 
 /// A stateless filter that forwards only the tuples satisfying its predicate.
 #[derive(Debug)]
@@ -33,6 +33,50 @@ impl SelectionOperator {
     /// The filter predicate.
     pub fn predicate(&self) -> &FilterPredicate {
         &self.predicate
+    }
+
+    /// Evaluate the predicate over every row of `batch` into `mask`.
+    ///
+    /// When the batch carries a typed integer column for the filtered
+    /// column and the constant is an integer, the whole batch is decided in
+    /// one pass over a `&[i64]` slice; otherwise each row is checked
+    /// against its [`jit_types::BaseTuple`], with the same "not applicable
+    /// is rejection" semantics as the tuple path.
+    fn eval_batch(&self, batch: &Batch, mask: &mut Vec<bool>) {
+        let col = self.predicate.column;
+        if col.source != batch.source() {
+            // The filtered column cannot appear on any row of this batch.
+            mask.resize(batch.len(), false);
+            return;
+        }
+        let op = self.predicate.op;
+        if let (Some(values), Value::Int(c)) = (
+            batch
+                .column(col.column as usize)
+                .and_then(ArrayImpl::as_i64),
+            &self.predicate.constant,
+        ) {
+            let c = *c;
+            mask.extend(values.iter().map(|&v| match op {
+                CompareOp::Eq => v == c,
+                CompareOp::Ne => v != c,
+                CompareOp::Lt => v < c,
+                CompareOp::Le => v <= c,
+                CompareOp::Gt => v > c,
+                CompareOp::Ge => v >= c,
+            }));
+            return;
+        }
+        for row in batch.rows() {
+            mask.push(row.value(col.column).is_some_and(|v| match op {
+                CompareOp::Eq => *v == self.predicate.constant,
+                CompareOp::Ne => *v != self.predicate.constant,
+                CompareOp::Lt => *v < self.predicate.constant,
+                CompareOp::Le => *v <= self.predicate.constant,
+                CompareOp::Gt => *v > self.predicate.constant,
+                CompareOp::Ge => *v >= self.predicate.constant,
+            }));
+        }
     }
 }
 
@@ -64,6 +108,23 @@ impl Operator for SelectionOperator {
         } else {
             OperatorOutput::empty()
         }
+    }
+
+    fn prepare_batch(
+        &mut self,
+        _port: Port,
+        batch: &Batch,
+        _block_min_ts: Timestamp,
+        ctx: &mut OpContext<'_>,
+    ) -> Option<BatchPrep> {
+        // One predicate evaluation per row, exactly as the tuple path
+        // charges — front-loaded so the whole batch is charged in one call.
+        ctx.metrics.stats.predicate_evals += batch.len() as u64;
+        ctx.metrics
+            .charge(CostKind::PredicateEval, batch.len() as u64);
+        let mut mask = Vec::with_capacity(batch.len());
+        self.eval_batch(batch, &mut mask);
+        Some(BatchPrep::Mask(mask))
     }
 
     fn memory_bytes(&self) -> usize {

@@ -69,7 +69,7 @@
 //! both modes; only the number of candidates a probe examines (the
 //! `probe_pairs` statistic and `CostKind::ProbePair` charge) shrinks.
 
-use jit_types::{ColumnRef, PredicateSet, SourceSet, Timestamp, Tuple, Value, Window};
+use jit_types::{ColumnRef, FastMap, PredicateSet, SourceSet, Timestamp, Tuple, Value, Window};
 use serde::{Content, Deserialize, Serialize};
 use std::cell::RefCell;
 use std::cmp::Reverse;
@@ -150,19 +150,55 @@ impl JoinKeySpec {
     /// missing one of the stored-side columns (it then goes to the index's
     /// overflow list).
     pub fn stored_key(&self, tuple: &Tuple) -> Option<Vec<Value>> {
-        self.pairs
-            .iter()
-            .map(|(stored_col, _)| tuple.value(*stored_col).cloned())
-            .collect()
+        let mut key = Vec::with_capacity(self.pairs.len());
+        self.stored_key_into(tuple, &mut key).then_some(key)
+    }
+
+    /// Allocation-free variant of [`JoinKeySpec::stored_key`]: fill `buf`
+    /// with the stored-side key and return `true`, or return `false` (with
+    /// `buf` cleared) when the tuple is missing a stored-side column.
+    pub fn stored_key_into(&self, tuple: &Tuple, buf: &mut Vec<Value>) -> bool {
+        buf.clear();
+        for (stored_col, _) in &self.pairs {
+            match tuple.value(*stored_col) {
+                Some(v) => buf.push(v.clone()),
+                None => {
+                    buf.clear();
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     /// The key a *probing* tuple looks up, or `None` if the tuple is missing
     /// one of the probe-side columns (the probe then falls back to a scan).
     pub fn probe_key(&self, tuple: &Tuple) -> Option<Vec<Value>> {
-        self.pairs
-            .iter()
-            .map(|(_, probe_col)| tuple.value(*probe_col).cloned())
-            .collect()
+        let mut key = Vec::with_capacity(self.pairs.len());
+        self.probe_key_into(tuple, &mut key).then_some(key)
+    }
+
+    /// Allocation-free variant of [`JoinKeySpec::probe_key`]: fill `buf`
+    /// with the probe-side key and return `true`, or return `false` (with
+    /// `buf` cleared) when the tuple is missing a probe-side column.
+    pub fn probe_key_into(&self, tuple: &Tuple, buf: &mut Vec<Value>) -> bool {
+        buf.clear();
+        for (_, probe_col) in &self.pairs {
+            match tuple.value(*probe_col) {
+                Some(v) => buf.push(v.clone()),
+                None => {
+                    buf.clear();
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The probe-side column references, in pair order — what the batch
+    /// kernel extracts key vectors from.
+    pub fn probe_columns(&self) -> impl Iterator<Item = ColumnRef> + '_ {
+        self.pairs.iter().map(|&(_, probe_col)| probe_col)
     }
 }
 
@@ -173,8 +209,9 @@ impl JoinKeySpec {
 #[derive(Debug, Clone, Default)]
 pub(crate) struct HashIndex {
     /// Key value vector → handles of stored tuples carrying that key,
-    /// ascending (i.e. in insertion order).
-    buckets: HashMap<Vec<Value>, Vec<u64>>,
+    /// ascending (i.e. in insertion order). Keyed with the fast
+    /// multiplicative hasher: buckets are probed once per arrival.
+    buckets: FastMap<Vec<Value>, Vec<u64>>,
     /// Handles of stored tuples missing a stored-side key column; always
     /// scanned in addition to the bucket. Ascending.
     overflow: Vec<u64>,
@@ -184,9 +221,31 @@ impl HashIndex {
     /// File `handle` under the tuple's stored-side key, or in the overflow
     /// list when the tuple is missing a key column.
     pub(crate) fn file(&mut self, spec: &JoinKeySpec, tuple: &Tuple, handle: u64) {
-        match spec.stored_key(tuple) {
-            Some(key) => self.buckets.entry(key).or_default().push(handle),
-            None => self.overflow.push(handle),
+        let mut scratch = Vec::with_capacity(spec.len());
+        self.file_with(spec, tuple, handle, &mut scratch);
+    }
+
+    /// Like [`HashIndex::file`], but the key is formed in a caller-owned
+    /// scratch buffer; an owned key `Vec` is allocated only when the key is
+    /// seen for the first time.
+    pub(crate) fn file_with(
+        &mut self,
+        spec: &JoinKeySpec,
+        tuple: &Tuple,
+        handle: u64,
+        scratch: &mut Vec<Value>,
+    ) {
+        if spec.stored_key_into(tuple, scratch) {
+            // `Vec<Value>: Borrow<[Value]>` lets the lookup run on the
+            // scratch slice without materialising an owned key.
+            match self.buckets.get_mut(&scratch[..]) {
+                Some(bucket) => bucket.push(handle),
+                None => {
+                    self.buckets.insert(scratch.clone(), vec![handle]);
+                }
+            }
+        } else {
+            self.overflow.push(handle);
         }
     }
 
@@ -229,9 +288,15 @@ pub struct OperatorState {
     /// Min-heap of `(tuple timestamp, seq)`: the next entry to expire is on
     /// top. Stale seqs are skipped when popped.
     expiry: BinaryHeap<Reverse<(Timestamp, u64)>>,
-    /// The indexes built so far, one per probe pattern observed.
-    indexes: HashMap<JoinKeySpec, HashIndex>,
+    /// The indexes built so far, one per probe pattern observed. A state
+    /// sees one or two distinct probe patterns in practice, so a
+    /// linear-scanned vector beats hashing the spec on every probe.
+    indexes: Vec<(JoinKeySpec, HashIndex)>,
     bytes: usize,
+    /// Reusable key buffer for the insert/probe hot path — key values are
+    /// formed here and only cloned into an owned `Vec` when a bucket sees a
+    /// key for the first time.
+    key_scratch: Vec<Value>,
 }
 
 impl OperatorState {
@@ -319,9 +384,11 @@ impl OperatorState {
         let seq = self.base + self.slots.len() as u64;
         self.bytes += entry.tuple.size_bytes();
         self.expiry.push(Reverse((entry.tuple.ts(), seq)));
+        let mut scratch = std::mem::take(&mut self.key_scratch);
         for (spec, index) in self.indexes.iter_mut() {
-            index.file(spec, &entry.tuple, seq);
+            index.file_with(spec, &entry.tuple, seq, &mut scratch);
         }
+        self.key_scratch = scratch;
         self.slots.push(Some(entry));
         self.live_count += 1;
     }
@@ -442,12 +509,54 @@ impl OperatorState {
     /// predicate evaluation: the index narrows the candidate set, it never
     /// decides a match by itself.
     pub fn probe(&mut self, spec: &JoinKeySpec, probe: &Tuple) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.probe_into(spec, probe, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`OperatorState::probe`]: the candidates
+    /// are written into the caller-owned `out` (cleared first), and the
+    /// probe key is formed in the state's scratch buffer instead of a fresh
+    /// `Vec<Value>` per probe — the tuple-mode hot-path fix.
+    pub fn probe_into(&mut self, spec: &JoinKeySpec, probe: &Tuple, out: &mut Vec<u64>) {
+        out.clear();
         if self.mode == StateIndexMode::Scan || spec.is_empty() {
-            return self.all_live();
+            self.all_live_into(out);
+            return;
         }
-        let Some(key) = spec.probe_key(probe) else {
-            return self.all_live();
-        };
+        let mut scratch = std::mem::take(&mut self.key_scratch);
+        if spec.probe_key_into(probe, &mut scratch) {
+            self.probe_key_slice_into(spec, &scratch, out);
+        } else {
+            self.all_live_into(out);
+        }
+        self.key_scratch = scratch;
+    }
+
+    /// Batch-kernel probe: look up a pre-extracted key slice (one hash pass
+    /// per batch computed the keys; see `jit_exec::operator::BatchPrep`).
+    /// `None` means the probing side is missing a key column — the scan
+    /// fallback, exactly as in [`OperatorState::probe`].
+    pub fn probe_slice_into(
+        &mut self,
+        spec: &JoinKeySpec,
+        key: Option<&[Value]>,
+        out: &mut Vec<u64>,
+    ) {
+        out.clear();
+        if self.mode == StateIndexMode::Scan || spec.is_empty() {
+            self.all_live_into(out);
+            return;
+        }
+        match key {
+            None => self.all_live_into(out),
+            Some(key) => self.probe_key_slice_into(spec, key, out),
+        }
+    }
+
+    /// Shared tail of the hashed probe paths: retain-live maintenance plus
+    /// bucket/overflow merge, written into `out`.
+    fn probe_key_slice_into(&mut self, spec: &JoinKeySpec, key: &[Value], out: &mut Vec<u64>) {
         self.ensure_index(spec);
         let slots = &self.slots;
         let base = self.base;
@@ -456,9 +565,13 @@ impl OperatorState {
                 .and_then(|idx| slots.get(idx as usize))
                 .is_some_and(|slot| slot.is_some())
         };
-        let index = self.indexes.get_mut(spec).expect("just ensured");
+        let index = self
+            .indexes
+            .iter_mut()
+            .find_map(|(s, index)| (s == spec).then_some(index))
+            .expect("just ensured");
         index.overflow.retain(is_live);
-        let bucket: &[u64] = match index.buckets.get_mut(&key) {
+        let bucket: &[u64] = match index.buckets.get_mut(key) {
             Some(bucket) => {
                 bucket.retain(is_live);
                 bucket
@@ -466,24 +579,38 @@ impl OperatorState {
             None => &[],
         };
         if index.overflow.is_empty() {
-            return bucket.to_vec();
+            out.extend_from_slice(bucket);
+        } else {
+            merge_ascending_into(bucket, &index.overflow, out);
         }
-        merge_ascending(bucket, &index.overflow)
     }
 
-    /// All live handles in insertion order (the scan path).
-    fn all_live(&self) -> Vec<u64> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter(|(_, slot)| slot.is_some())
-            .map(|(idx, _)| self.base + idx as u64)
-            .collect()
+    /// The timestamp of the next entry the expiry heap would consider, if
+    /// any — a *lower bound* on the earliest live tuple timestamp (stale
+    /// heap entries for drained tuples may report an earlier time). Used by
+    /// the batch kernels to elide provably empty purges: if even this bound
+    /// has not expired by a batch's max timestamp, no purge in the batch
+    /// can remove anything, and skipping it is counter-neutral
+    /// (`purged_tuples` and `CostKind::StatePurge` are charged per removed
+    /// tuple, not per purge call).
+    pub fn next_expiry(&self) -> Option<Timestamp> {
+        self.expiry.peek().map(|&Reverse((ts, _))| ts)
+    }
+
+    /// Append all live handles in insertion order to `out` (the scan path).
+    fn all_live_into(&self, out: &mut Vec<u64>) {
+        out.extend(
+            self.slots
+                .iter()
+                .enumerate()
+                .filter(|(_, slot)| slot.is_some())
+                .map(|(idx, _)| self.base + idx as u64),
+        );
     }
 
     /// Build the index for `spec` if this is the first probe using it.
     fn ensure_index(&mut self, spec: &JoinKeySpec) {
-        if self.indexes.contains_key(spec) {
+        if self.indexes.iter().any(|(s, _)| s == spec) {
             return;
         }
         let mut index = HashIndex::default();
@@ -492,7 +619,7 @@ impl OperatorState {
                 index.file(spec, &entry.tuple, self.base + idx as u64);
             }
         }
-        self.indexes.insert(spec.clone(), index);
+        self.indexes.push((spec.clone(), index));
     }
 
     /// Reclaim tombstones once they outnumber the live entries: rebase
@@ -524,6 +651,13 @@ impl OperatorState {
 /// Merge two ascending handle lists into one ascending list.
 pub(crate) fn merge_ascending<T: Copy + Ord>(a: &[T], b: &[T]) -> Vec<T> {
     let mut out = Vec::with_capacity(a.len() + b.len());
+    merge_ascending_into(a, b, &mut out);
+    out
+}
+
+/// Merge two ascending handle lists into a caller-owned output vector.
+pub(crate) fn merge_ascending_into<T: Copy + Ord>(a: &[T], b: &[T], out: &mut Vec<T>) {
+    out.reserve(a.len() + b.len());
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         if a[i] <= b[j] {
@@ -536,7 +670,6 @@ pub(crate) fn merge_ascending<T: Copy + Ord>(a: &[T], b: &[T]) -> Vec<T> {
     }
     out.extend_from_slice(&a[i..]);
     out.extend_from_slice(&b[j..]);
-    out
 }
 
 impl fmt::Display for OperatorState {

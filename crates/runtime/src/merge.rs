@@ -5,10 +5,16 @@
 //! merged global stream preserves that guarantee by always releasing the
 //! smallest timestamp among the shard heads; ties break by shard index and
 //! then by within-shard position, so the merge is fully deterministic.
+//!
+//! The implementation merges *run frontiers* rather than single tuples:
+//! once a shard owns the minimum, every consecutive element of that shard
+//! strictly below the other shards' frontier (ties resolved by shard index)
+//! is copied in one run. Shard outputs interleave at batch granularity, so
+//! the cross-shard comparison cost is O(runs · shards), not
+//! O(tuples · log shards) — the per-tuple heap was the merge bottleneck
+//! once indexed states made per-shard compute cheap.
 
-use jit_types::{Timestamp, Tuple};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use jit_types::Tuple;
 
 /// Merge per-shard, individually timestamp-ordered result vectors into one
 /// globally timestamp-ordered vector.
@@ -20,18 +26,45 @@ use std::collections::BinaryHeap;
 pub fn merge_by_timestamp(streams: &[Vec<Tuple>]) -> Vec<Tuple> {
     let total: usize = streams.iter().map(Vec::len).sum();
     let mut merged = Vec::with_capacity(total);
-    // Heap of (next timestamp, shard index, position within the shard).
-    let mut heap: BinaryHeap<Reverse<(Timestamp, usize, usize)>> = streams
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| !s.is_empty())
-        .map(|(shard, s)| Reverse((s[0].ts(), shard, 0)))
-        .collect();
-    while let Some(Reverse((_, shard, pos))) = heap.pop() {
-        merged.push(streams[shard][pos].clone());
-        if let Some(next) = streams[shard].get(pos + 1) {
-            heap.push(Reverse((next.ts(), shard, pos + 1)));
-        }
+    // Next unreleased position per shard.
+    let mut pos = vec![0usize; streams.len()];
+    loop {
+        // The shard owning the global minimum (timestamp, shard).
+        let next = streams
+            .iter()
+            .enumerate()
+            .filter_map(|(shard, s)| s.get(pos[shard]).map(|t| (t.ts(), shard)))
+            .min();
+        let Some((_, shard)) = next else { break };
+        // The earliest head among the *other* shards bounds the run.
+        let frontier = streams
+            .iter()
+            .enumerate()
+            .filter(|&(other, _)| other != shard)
+            .filter_map(|(other, s)| s.get(pos[other]).map(|t| (t.ts(), other)))
+            .min();
+        // Release the run: element i goes before every other shard's head
+        // iff its timestamp is strictly smaller, or tied with a
+        // higher-indexed shard — exactly the per-tuple (timestamp, shard,
+        // position) order of the old heap merge.
+        let stream = &streams[shard];
+        let run_end = match frontier {
+            None => stream.len(),
+            Some((fts, fshard)) => {
+                let mut end = pos[shard];
+                while stream
+                    .get(end)
+                    .is_some_and(|t| t.ts() < fts || (t.ts() == fts && shard < fshard))
+                {
+                    end += 1;
+                }
+                // The run owner held the global minimum, so at least one
+                // element is always released: progress is guaranteed.
+                end.max(pos[shard] + 1)
+            }
+        };
+        merged.extend_from_slice(&stream[pos[shard]..run_end]);
+        pos[shard] = run_end;
     }
     merged
 }

@@ -175,6 +175,7 @@ impl ShardedRuntime {
     /// Move the prepared executors onto their worker threads.
     fn launch(&self, executors: Vec<Executor>) -> ShardedSession {
         let shards = executors.len();
+        let vectorize = self.config().vectorize;
         let (chunk_tx, chunk_rx) = mpsc::channel::<ShardChunk>();
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
@@ -185,6 +186,10 @@ impl ShardedRuntime {
                 .name(format!("jit-shard-{shard}"))
                 .spawn(move || {
                     let mut arrivals = 0u64;
+                    // Columnar assembly happens here, on the shard thread:
+                    // the pusher ships raw arrival chunks and each worker
+                    // pays its own column-building pass in parallel.
+                    let mut block_builder = jit_types::BlockBuilder::new();
                     while let Ok(msg) = rx.recv() {
                         // One chunk per message: progress for the watermark,
                         // drained results, and a point-in-time snapshot.
@@ -198,8 +203,15 @@ impl ShardedRuntime {
                         let state = match msg {
                             WorkerMsg::Batch(batch) => {
                                 arrivals += batch.len() as u64;
-                                for event in batch {
-                                    executor.ingest(event.source, event.tuple);
+                                if vectorize {
+                                    for event in batch {
+                                        block_builder.push(event.source, event.tuple);
+                                    }
+                                    executor.ingest_block(&block_builder.finish());
+                                } else {
+                                    for event in batch {
+                                        executor.ingest(event.source, event.tuple);
+                                    }
                                 }
                                 None
                             }
@@ -404,11 +416,33 @@ impl ShardedSession {
                 .enumerate()
                 .filter_map(|(shard, buf)| buf.front().map(|t| (t.ts(), shard)))
                 .min();
-            match next {
-                Some((ts, shard)) if ts < watermark => {
-                    released.push(self.buffered[shard].pop_front().expect("front exists"));
+            let Some((ts, shard)) = next else { break };
+            if ts >= watermark {
+                break;
+            }
+            // Batch-frontier run release: the other shards' fronts cannot
+            // change while we pop from `shard`, so every element strictly
+            // below that frontier (or tied against a higher shard) leaves
+            // in one run — the merge scans per *run*, not per tuple, which
+            // reproduces the per-tuple `(timestamp, shard)` order exactly.
+            let frontier = self
+                .buffered
+                .iter()
+                .enumerate()
+                .filter(|&(other, _)| other != shard)
+                .filter_map(|(other, buf)| buf.front().map(|t| (t.ts(), other)))
+                .min();
+            loop {
+                released.push(self.buffered[shard].pop_front().expect("front exists"));
+                let keep_going = self.buffered[shard].front().is_some_and(|t| {
+                    t.ts() < watermark
+                        && frontier.is_none_or(|(fts, fshard)| {
+                            t.ts() < fts || (t.ts() == fts && shard < fshard)
+                        })
+                });
+                if !keep_going {
+                    break;
                 }
-                _ => break,
             }
         }
         released

@@ -10,7 +10,8 @@ use jit_plan::canonical::{CanonicalKey, CanonicalQuery, FilterTerm};
 use jit_plan::cql::CqlError;
 use jit_runtime::RuntimeConfig;
 use jit_types::{
-    BaseTuple, Catalog, ColumnRef, Signature, SourceId, Timestamp, Tuple, Value, Window,
+    BaseTuple, BatchPolicy, Catalog, ColumnRef, Signature, SourceId, Timestamp, Tuple, Value,
+    Window,
 };
 use serde::{Content, Serialize};
 use std::collections::HashMap;
@@ -99,6 +100,11 @@ pub struct ServeOptions {
     /// a watermark-driven reorder stage and turns too-late arrivals into
     /// counted drops (surfaced through each pipeline's metrics).
     pub disorder: DisorderPolicy,
+    /// Columnar batching policy of every pipeline's data plane. The default
+    /// (one row per flush) is tuple-equivalent; a batching policy amortises
+    /// per-arrival overhead without changing any results or counters (see
+    /// [`jit_engine::EngineBuilder::batch_policy`]).
+    pub batch: BatchPolicy,
 }
 
 impl Default for ServeOptions {
@@ -110,6 +116,7 @@ impl Default for ServeOptions {
             key_column: 0,
             assume_partitionable: false,
             disorder: DisorderPolicy::Strict,
+            batch: BatchPolicy::default(),
         }
     }
 }
@@ -352,7 +359,8 @@ impl QueryRegistry {
             .mode(self.options.mode)
             .state_index(self.options.state_index)
             .partition_key_column(self.options.key_column)
-            .disorder(self.options.disorder);
+            .disorder(self.options.disorder)
+            .batch_policy(self.options.batch);
         if self.options.assume_partitionable {
             builder = builder.assume_key_partitionable();
         }

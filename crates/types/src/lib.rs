@@ -17,6 +17,9 @@
 //!   recognise "similar" tuples (e.g. `a2` sharing `a1`'s join values).
 //! * [`Feedback`] — the consumer→producer control messages
 //!   (`suspend` / `resume` / `mark` / `unmark`).
+//! * [`ArrayImpl`], [`Batch`], [`Block`], [`BatchPolicy`] — the columnar
+//!   batch data plane: typed column arrays and the vectorized arrival
+//!   containers built from them (see the [`mod@array`] and [`batch`] docs).
 //!
 //! The crate is deliberately free of any execution logic so that the operator
 //! framework (`jit-exec`) and the JIT mechanism (`jit-core`) can evolve
@@ -25,8 +28,11 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod array;
+pub mod batch;
 pub mod error;
 pub mod feedback;
+pub mod hash;
 pub mod predicate;
 pub mod schema;
 pub mod signature;
@@ -34,8 +40,11 @@ pub mod timestamp;
 pub mod tuple;
 pub mod value;
 
+pub use array::{ArrayBuilder, ArrayImpl};
+pub use batch::{Batch, BatchPolicy, Block, BlockBuilder};
 pub use error::TypeError;
 pub use feedback::{Feedback, FeedbackCommand};
+pub use hash::{FastBuildHasher, FastHasher, FastMap};
 pub use predicate::{CompareOp, EquiPredicate, FilterPredicate, PredicateSet};
 pub use schema::{Catalog, ColumnRef, SourceId, SourceSchema, SourceSet};
 pub use signature::Signature;

@@ -127,7 +127,9 @@ impl Tuple {
         let sources = SourceSet::single(base.source);
         let ts = base.ts;
         Tuple {
-            parts: Arc::from(vec![base]),
+            // `Arc::from([_; 1])` builds the slice in one allocation; this
+            // runs once per arrival, so the Vec round-trip is worth avoiding.
+            parts: Arc::from([base]),
             sources,
             ts,
         }

@@ -69,7 +69,7 @@ pub mod prelude {
     pub use jit_stream::workload::WorkloadSpec;
     pub use jit_stream::{DisorderSpec, ShardPartitioner, Trace, WorkloadGenerator};
     pub use jit_types::{
-        BaseTuple, Catalog, ColumnRef, Duration, EquiPredicate, Feedback, FeedbackCommand,
-        PredicateSet, SourceId, SourceSet, Timestamp, Tuple, Value, Window,
+        BaseTuple, BatchPolicy, Catalog, ColumnRef, Duration, EquiPredicate, Feedback,
+        FeedbackCommand, PredicateSet, SourceId, SourceSet, Timestamp, Tuple, Value, Window,
     };
 }

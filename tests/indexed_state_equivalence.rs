@@ -7,6 +7,31 @@
 use jit_dsms::prelude::*;
 use proptest::prelude::*;
 
+/// Run one (mode, index-mode, batch-policy) combination over a shared trace.
+fn run_config(
+    spec: &WorkloadSpec,
+    shape: &PlanShape,
+    trace: &Trace,
+    mode: ExecutionMode,
+    index: StateIndexMode,
+    shards: Option<usize>,
+    batch: BatchPolicy,
+) -> EngineOutcome {
+    let mut builder = Engine::builder()
+        .workload(spec, shape)
+        .mode(mode)
+        .state_index(index)
+        .batch_policy(batch);
+    if let Some(shards) = shards {
+        builder = builder.sharded(RuntimeConfig::with_shards(shards));
+    }
+    builder
+        .build()
+        .expect("engine builds")
+        .run_trace(trace)
+        .expect("trace runs")
+}
+
 /// Run one (mode, index-mode) combination over a shared trace.
 fn run_with_index(
     spec: &WorkloadSpec,
@@ -16,18 +41,15 @@ fn run_with_index(
     index: StateIndexMode,
     shards: Option<usize>,
 ) -> EngineOutcome {
-    let mut builder = Engine::builder()
-        .workload(spec, shape)
-        .mode(mode)
-        .state_index(index);
-    if let Some(shards) = shards {
-        builder = builder.sharded(RuntimeConfig::with_shards(shards));
-    }
-    builder
-        .build()
-        .expect("engine builds")
-        .run_trace(trace)
-        .expect("trace runs")
+    run_config(
+        spec,
+        shape,
+        trace,
+        mode,
+        index,
+        shards,
+        BatchPolicy::default(),
+    )
 }
 
 /// Everything that must not change when the index layer switches on.
@@ -159,6 +181,156 @@ fn sharded_keyed_workload_indexed_equals_scan() {
         let scan = run_with_index(&spec, &shape, &trace, mode, StateIndexMode::Scan, Some(4));
         let hashed = run_with_index(&spec, &shape, &trace, mode, StateIndexMode::Hashed, Some(4));
         assert_observably_equal(&scan, &hashed, mode.label());
+    }
+}
+
+/// Everything that must not change when the columnar batch plane switches
+/// on: byte-identical ordered results, identical workload counters (probes,
+/// predicate evaluations, purges, insertions), identical final bytes, and —
+/// for JIT — identical feedback behaviour. Peak memory may only shrink
+/// (batch mode samples once per block instead of once per task, so it
+/// observes a subset of the same trajectory).
+fn assert_batch_equivalent(tuple: &EngineOutcome, batched: &EngineOutcome, label: &str) {
+    assert_eq!(
+        tuple.results, batched.results,
+        "{label}: result streams must be identical (content and order)"
+    );
+    assert_eq!(
+        tuple.results_count, batched.results_count,
+        "{label}: counts"
+    );
+    assert_eq!(batched.order_violations, 0, "{label}: temporal order");
+    let (t, b) = (&tuple.snapshot.stats, &batched.snapshot.stats);
+    assert_eq!(t.tuples_arrived, b.tuples_arrived, "{label}: arrivals");
+    assert_eq!(t.probe_pairs, b.probe_pairs, "{label}: probe pairs");
+    assert_eq!(
+        t.predicate_evals, b.predicate_evals,
+        "{label}: predicate evals"
+    );
+    assert_eq!(t.purged_tuples, b.purged_tuples, "{label}: purge counts");
+    assert_eq!(
+        t.state_insertions, b.state_insertions,
+        "{label}: insertions"
+    );
+    assert_eq!(t.state_probes, b.state_probes, "{label}: state probes");
+    assert_eq!(
+        t.results_emitted, b.results_emitted,
+        "{label}: results emitted"
+    );
+    assert_eq!(t.mns_detected, b.mns_detected, "{label}: MNS detection");
+    assert_eq!(
+        t.feedback_suspend, b.feedback_suspend,
+        "{label}: suspensions"
+    );
+    assert_eq!(t.feedback_resume, b.feedback_resume, "{label}: resumptions");
+    assert_eq!(
+        t.blacklisted_tuples, b.blacklisted_tuples,
+        "{label}: blacklist moves"
+    );
+    assert_eq!(t.resumed_tuples, b.resumed_tuples, "{label}: restores");
+    assert_eq!(
+        t.intermediate_suppressed, b.intermediate_suppressed,
+        "{label}: suppression"
+    );
+    assert_eq!(
+        tuple.snapshot.final_memory_bytes, batched.snapshot.final_memory_bytes,
+        "{label}: final memory"
+    );
+    assert!(
+        batched.snapshot.peak_memory_bytes <= tuple.snapshot.peak_memory_bytes,
+        "{label}: batch-mode peak memory must not exceed tuple mode ({} > {})",
+        batched.snapshot.peak_memory_bytes,
+        tuple.snapshot.peak_memory_bytes
+    );
+}
+
+/// The batch policies the equivalence axis sweeps: small batches (every
+/// block boundary exercised), large batches (whole-trace blocks), and a
+/// delay-bounded policy (flushes mid-count on event time).
+fn batch_policies() -> [BatchPolicy; 3] {
+    [
+        BatchPolicy::rows(4),
+        BatchPolicy::rows(64),
+        BatchPolicy::rows(1 << 20).with_max_delay(Duration::from_secs(10)),
+    ]
+}
+
+/// The batch plane must be invisible in everything but speed, on the
+/// paper's 3-source clique workload: REF and JIT, both state index modes,
+/// single-threaded and (single-shard) sharded backends, across all batch
+/// policies.
+#[test]
+fn batch_plane_is_observably_equivalent_on_clique3() {
+    let spec = WorkloadSpec::bushy_default()
+        .with_sources(3)
+        .with_dmax(40)
+        .with_duration(Duration::from_mins(3))
+        .with_seed(20080415);
+    let shape = PlanShape::bushy(3);
+    let trace = WorkloadGenerator::generate(&spec);
+    for shards in [None, Some(1)] {
+        for mode in [ExecutionMode::Ref, ExecutionMode::Jit(JitPolicy::full())] {
+            for index in [StateIndexMode::Hashed, StateIndexMode::Scan] {
+                let tuple = run_config(
+                    &spec,
+                    &shape,
+                    &trace,
+                    mode,
+                    index,
+                    shards,
+                    BatchPolicy::default(),
+                );
+                assert!(tuple.results_count > 0, "workload must produce results");
+                for policy in batch_policies() {
+                    let batched = run_config(&spec, &shape, &trace, mode, index, shards, policy);
+                    let label = format!(
+                        "{} shards={shards:?} {index:?} batch={policy:?}",
+                        mode.label()
+                    );
+                    assert_batch_equivalent(&tuple, &batched, &label);
+                }
+            }
+        }
+    }
+}
+
+/// Multi-shard coverage for the batch plane: on the key-partitionable
+/// workload, 4-shard vectorized ingestion matches 4-shard tuple ingestion
+/// exactly.
+#[test]
+fn batch_plane_is_observably_equivalent_on_4_shards() {
+    let spec = WorkloadSpec::bushy_default()
+        .with_sources(3)
+        .with_shared_key()
+        .with_dmax(40)
+        .with_duration(Duration::from_mins(2))
+        .with_seed(7);
+    let shape = PlanShape::left_deep(3);
+    let trace = WorkloadGenerator::generate(&spec);
+    for mode in [ExecutionMode::Ref, ExecutionMode::Jit(JitPolicy::full())] {
+        let tuple = run_config(
+            &spec,
+            &shape,
+            &trace,
+            mode,
+            StateIndexMode::Hashed,
+            Some(4),
+            BatchPolicy::default(),
+        );
+        assert!(tuple.results_count > 0, "workload must produce results");
+        for policy in batch_policies() {
+            let batched = run_config(
+                &spec,
+                &shape,
+                &trace,
+                mode,
+                StateIndexMode::Hashed,
+                Some(4),
+                policy,
+            );
+            let label = format!("{} 4 shards batch={policy:?}", mode.label());
+            assert_batch_equivalent(&tuple, &batched, &label);
+        }
     }
 }
 
