@@ -35,6 +35,12 @@ fn bench(c: &mut Criterion) {
         check_temporal_order: false,
     };
 
+    // Scaling numbers only mean something relative to the cores actually
+    // present: shards beyond the machine's parallelism time-slice one core
+    // and cannot speed anything up. Detect and annotate, so a flat curve on
+    // a small machine reads as oversubscription rather than a regression.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
     // One untimed pass per shard count: print load balance and check that
     // every configuration agrees on the result count.
     let reference = run_parallel_trace(
@@ -47,7 +53,7 @@ fn bench(c: &mut Criterion) {
     )
     .expect("plan builds");
     println!(
-        "parallel_scaling: {} arrivals, {} results",
+        "parallel_scaling: {} arrivals, {} results, {cores} core(s) available",
         trace.len(),
         reference.results_count
     );
@@ -66,9 +72,14 @@ fn bench(c: &mut Criterion) {
             "sharding must not change the result count"
         );
         println!(
-            "  shards={shards}: max shard load {:.0}% (ideal {:.0}%)",
+            "  shards={shards}: max shard load {:.0}% (ideal {:.0}%){}",
             outcome.max_shard_load() * 100.0,
-            100.0 / shards as f64
+            100.0 / shards as f64,
+            if shards > cores {
+                " [oversubscribed: shards > cores]"
+            } else {
+                ""
+            }
         );
     }
 

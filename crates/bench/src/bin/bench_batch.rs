@@ -54,12 +54,24 @@ struct BatchPoint {
     speedup_vs_tuple: f64,
 }
 
+/// One per-kernel micro-timing: the kernel run standalone over the
+/// workload's own rows, best of [`REPEATS`] passes. Absolute nanoseconds
+/// are machine-specific, so these are reported for profiling — the
+/// regression guard stays on the machine-portable speedup ratios.
+#[derive(Debug, Serialize, Deserialize)]
+struct KernelTiming {
+    kernel: String,
+    rows: u64,
+    ns_per_row: f64,
+}
+
 /// The full report written to `BENCH_batch.json`.
 #[derive(Debug, Serialize, Deserialize)]
 struct BenchReport {
     workload: String,
     quick: bool,
     points: Vec<BatchPoint>,
+    kernels: Vec<KernelTiming>,
 }
 
 const SHARDS: usize = 4;
@@ -126,6 +138,102 @@ fn run_point(
         }
     }
     best.expect("at least one repetition ran")
+}
+
+/// Time `f` (which processes `rows` rows per call): best pass of
+/// [`REPEATS`], after one warm-up call.
+fn timed(kernel: &str, rows: u64, reps: usize, mut f: impl FnMut()) -> KernelTiming {
+    f();
+    let mut best = f64::MAX;
+    for _ in 0..REPEATS {
+        let start = std::time::Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / (reps as f64 * rows as f64);
+        best = best.min(ns);
+    }
+    println!("kernel {kernel:>18}: {best:>8.2} ns/row");
+    KernelTiming {
+        kernel: kernel.to_string(),
+        rows,
+        ns_per_row: best,
+    }
+}
+
+/// Micro-time the four columnar kernels the batch path is built from —
+/// selection masking, probe-key extraction, columnar result assembly, and
+/// the MNS lattice walk — each standalone over rows drawn from the bench
+/// trace itself, so the timed data distribution matches what the end-to-end
+/// points above push through the engine.
+fn bench_kernels(trace: &Trace) -> Vec<KernelTiming> {
+    use jit_core::CnsLattice;
+    use jit_exec::operator::ResultBlock;
+    use jit_metrics::RunMetrics;
+    use jit_types::kernel::{self, BitMask};
+    use jit_types::{BlockBuilder, ColumnRef, CompareOp, SourceId, SourceSet, Tuple, Value};
+
+    const ROWS: usize = 1024;
+    let tuples_of = |source: SourceId| {
+        trace
+            .iter()
+            .filter(|e| e.source == source)
+            .take(ROWS)
+            .map(|e| e.tuple.clone())
+            .collect::<Vec<_>>()
+    };
+    let mut builder = BlockBuilder::new().with_columns(true);
+    for tuple in tuples_of(SourceId(0)) {
+        builder.push(SourceId(0), tuple);
+    }
+    let block = builder.finish();
+    let batch = &block.batches()[0];
+    let rows = batch.len() as u64;
+
+    let mut timings = Vec::new();
+
+    let array = batch.column(0).expect("workload rows carry a key column");
+    let mut mask = BitMask::new();
+    timings.push(timed("selection_mask", rows, 2048, || {
+        kernel::filter_mask(array, CompareOp::Gt, &Value::int(2500), &mut mask);
+    }));
+
+    let cols = [ColumnRef::new(SourceId(0), 0)];
+    let mut keys = Vec::new();
+    let mut valid = Vec::new();
+    timings.push(timed("probe_key_extract", rows, 1024, || {
+        kernel::extract_probe_keys(batch, &cols, &mut keys, &mut valid);
+    }));
+
+    let probes: Vec<Tuple> = tuples_of(SourceId(0))
+        .into_iter()
+        .map(Tuple::from_base)
+        .collect();
+    let partners: Vec<Tuple> = tuples_of(SourceId(1))
+        .into_iter()
+        .map(Tuple::from_base)
+        .collect();
+    let pairs = probes.len().min(partners.len()) as u64;
+    timings.push(timed("result_assembly", pairs, 256, || {
+        let mut assembled = ResultBlock::new();
+        for (a, b) in probes.iter().zip(&partners) {
+            assembled.push_join(a, b, false);
+        }
+        std::hint::black_box(&assembled);
+    }));
+
+    let candidates = SourceSet::from_iter([SourceId(0), SourceId(1)]);
+    let mut metrics = RunMetrics::new();
+    timings.push(timed("mns_walk", rows, 64, || {
+        for _ in 0..ROWS {
+            let mut lattice = CnsLattice::new(candidates);
+            lattice.observe(SourceSet::single(SourceId(0)), &mut metrics);
+            lattice.observe(SourceSet::single(SourceId(1)), &mut metrics);
+            std::hint::black_box(lattice.minimal_alive());
+        }
+    }));
+
+    timings
 }
 
 /// Check the current report against a committed baseline; returns failures.
@@ -256,6 +364,8 @@ fn main() {
         }
     }
 
+    let kernels = bench_kernels(&trace);
+
     let report = BenchReport {
         workload: format!(
             "3-source shared-key left-deep join, 0.5 min window, dmax 5000, rate 50/s, {}s, \
@@ -264,6 +374,7 @@ fn main() {
         ),
         quick,
         points,
+        kernels,
     };
     if let Some(path) = baseline_path {
         failures.extend(check_baseline(&report, &path));

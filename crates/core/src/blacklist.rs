@@ -104,6 +104,13 @@ pub struct Blacklist {
     /// Similar-capture entries grouped by signature column set, then by the
     /// MNS's signature on those columns.
     by_signature: HashMap<Vec<ColumnRef>, HashMap<Signature, Vec<usize>>>,
+    /// Conservative lower bound on the earliest timestamp whose expiry could
+    /// make [`Blacklist::purge`] remove something (a suspended tuple's `ts`
+    /// or a non-Ø entry's MNS `ts`). `None` means no purge can remove
+    /// anything. Lowered on insertions, recomputed exactly by `purge` (which
+    /// scans every entry anyway); removals leave it stale-low, which only
+    /// costs one recomputing purge scan.
+    min_expiry: Option<Timestamp>,
 }
 
 impl Blacklist {
@@ -218,6 +225,9 @@ impl Blacklist {
             return idx;
         }
         let signature = Signature::of(&mns, &signature_columns);
+        if !mns.is_empty() {
+            self.note_expiry(mns.ts());
+        }
         self.bytes += mns.size_bytes() + signature.size_bytes();
         self.entries.push(BlacklistEntry {
             mns,
@@ -232,8 +242,27 @@ impl Blacklist {
         idx
     }
 
+    /// Lower the purge bound to cover a timestamp that just became purgeable
+    /// in the future.
+    fn note_expiry(&mut self, ts: Timestamp) {
+        self.min_expiry = Some(match self.min_expiry {
+            Some(cur) => cur.min(ts),
+            None => ts,
+        });
+    }
+
+    /// The earliest timestamp whose window expiry could make
+    /// [`Blacklist::purge`] remove a tuple or an entry, or `None` when a
+    /// purge provably removes nothing. Conservative (see the field docs):
+    /// a premature instant only triggers a purge scan that removes nothing
+    /// — which charges nothing — and tightens the bound.
+    pub fn next_expiry(&self) -> Option<Timestamp> {
+        self.min_expiry
+    }
+
     /// Add a suspended tuple to an entry.
     pub fn add_tuple(&mut self, entry: usize, tuple: Tuple, joined_up_to: Option<Timestamp>) {
+        self.note_expiry(tuple.ts());
         self.bytes += tuple.size_bytes();
         self.entries[entry].tuples.push(BlacklistedTuple {
             tuple,
@@ -248,6 +277,9 @@ impl Blacklist {
     /// exactly the linear scan's first match); under
     /// [`StateIndexMode::Scan`] every entry is examined in order.
     pub fn matching_entry(&self, tuple: &Tuple, allow_similar: bool) -> Option<usize> {
+        if self.entries.is_empty() {
+            return None;
+        }
         if self.mode == StateIndexMode::Scan {
             return self
                 .entries
@@ -318,6 +350,17 @@ impl Blacklist {
             self.reindex();
         }
         self.bytes -= freed;
+        // The scan visited everything, so recompute the purge bound exactly.
+        self.min_expiry = self
+            .entries
+            .iter()
+            .flat_map(|e| {
+                e.tuples
+                    .iter()
+                    .map(|t| t.tuple.ts())
+                    .chain((!e.mns.is_empty()).then(|| e.mns.ts()))
+            })
+            .min();
         removed
     }
 
@@ -346,6 +389,15 @@ impl Blacklist {
             )));
         }
         let entries: Vec<BlacklistEntry> = serde::field(map, "entries", "Blacklist")?;
+        self.min_expiry = entries
+            .iter()
+            .flat_map(|e| {
+                e.tuples
+                    .iter()
+                    .map(|t| t.tuple.ts())
+                    .chain((!e.mns.is_empty()).then(|| e.mns.ts()))
+            })
+            .min();
         self.bytes = entries
             .iter()
             .map(|e| {

@@ -14,7 +14,9 @@
 //! notes the producer may simply delete the suppressed tuples.
 
 use crate::lattice::CnsLattice;
-use jit_exec::operator::{DataMessage, OpContext, Operator, OperatorOutput, Port, LEFT};
+use jit_exec::operator::{
+    DataMessage, OpContext, Operator, OperatorOutput, Port, ResultBlock, LEFT,
+};
 use jit_metrics::CostKind;
 use jit_types::{BaseTuple, Feedback, FilterPredicate, PredicateSet, SourceId, SourceSet, Tuple};
 use std::collections::HashSet;
@@ -161,7 +163,7 @@ impl Operator for JitStaticJoinOperator {
             Some(CnsLattice::new(candidates))
         };
         ctx.metrics.stats.state_probes += 1;
-        let mut results = Vec::new();
+        let mut results = ResultBlock::new();
         let mut evals = 0u64;
         for rel_tuple in &self.relation {
             ctx.metrics.stats.probe_pairs += 1;
@@ -188,14 +190,13 @@ impl Operator for JitStaticJoinOperator {
             if let Some(l) = lattice.as_mut() {
                 l.observe(matched, ctx.metrics);
             }
-            if matched == candidates {
-                if let Ok(joined) = msg.tuple.join(&rel) {
-                    ctx.metrics.charge(CostKind::ResultBuild, 1);
-                    results.push(DataMessage {
-                        tuple: joined,
-                        marked: msg.marked,
-                    });
-                }
+            // Matches assemble columnar-ly, as in the symmetric join
+            // ([`Tuple::join`] fails exactly when the coverages overlap, so
+            // the disjointness guard is the same filter the row path
+            // applied).
+            if matched == candidates && msg.tuple.sources().is_disjoint(rel.sources()) {
+                ctx.metrics.charge(CostKind::ResultBuild, 1);
+                results.push_join(&msg.tuple, &rel, msg.marked);
             }
         }
         ctx.metrics.stats.predicate_evals += evals;
@@ -222,7 +223,7 @@ impl Operator for JitStaticJoinOperator {
                 fresh.push(mns);
             }
         }
-        let mut output = OperatorOutput::with_results(results);
+        let mut output = OperatorOutput::with_columnar(results);
         if !fresh.is_empty() {
             output.feedback.push((LEFT, Feedback::suspend(fresh)));
         }
@@ -326,11 +327,12 @@ mod tests {
         let mut ctx = OpContext::new(Timestamp::ZERO, &mut metrics);
         // Matching stream tuple joins, no feedback.
         let out = op.process(0, &a_msg(1, 2), &mut ctx);
-        assert_eq!(out.results.len(), 1);
+        assert!(out.results.is_empty(), "static-join output is columnar");
+        assert_eq!(out.columnar.map_or(0, |b| b.len()), 1);
         assert!(out.feedback.is_empty());
         // Non-matching tuple: no results, suspension naming the component.
         let out = op.process(0, &a_msg(2, 9), &mut ctx);
-        assert!(out.results.is_empty());
+        assert!(out.columnar.is_none_or(|b| b.is_empty()));
         assert_eq!(out.feedback.len(), 1);
         assert_eq!(out.feedback[0].1.command, FeedbackCommand::Suspend);
         assert_eq!(
@@ -354,6 +356,7 @@ mod tests {
         let mut ctx = OpContext::new(Timestamp::ZERO, &mut metrics);
         let out = op.process(0, &a_msg(1, 1), &mut ctx);
         assert!(out.results.is_empty());
+        assert!(out.columnar.is_none_or(|b| b.is_empty()));
         assert_eq!(out.feedback.len(), 1);
         assert!(out.feedback[0].1.mns_set[0].is_empty());
         // Reported only once.

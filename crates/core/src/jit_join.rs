@@ -43,14 +43,14 @@ use crate::lattice::CnsLattice;
 use crate::mns_buffer::MnsBuffer;
 use crate::policy::{JitPolicy, MnsDetection};
 use jit_exec::operator::{
-    DataMessage, FeedbackOutcome, OpContext, Operator, OperatorOutput, Port, SuppressionDigest,
-    LEFT, RIGHT,
+    BatchPrep, DataMessage, FeedbackOutcome, OpContext, Operator, OperatorOutput, Port, ProbePrep,
+    ResultBlock, SuppressionDigest, LEFT, RIGHT,
 };
 use jit_exec::state::{JoinKeySpec, OperatorState, StateIndexMode};
 use jit_metrics::CostKind;
 use jit_types::{
-    ColumnRef, Feedback, FeedbackCommand, PredicateSet, SourceSet, Timestamp, Tuple, TupleKey,
-    Window,
+    Batch, ColumnRef, FastMap, Feedback, FeedbackCommand, PredicateSet, SourceSet, Timestamp,
+    Tuple, TupleKey, Value, Window,
 };
 use serde::{Content, Deserialize, Serialize};
 use std::collections::HashMap;
@@ -67,6 +67,73 @@ fn sorted_pairs<K: Ord + Clone, V: Clone>(map: &HashMap<K, V>) -> Vec<(K, V)> {
 /// once, expressed in the operator's logical event sequence (one tick per
 /// insertion or drain), so that same-millisecond events stay ordered.
 type PresenceHistory = HashMap<TupleKey, Vec<(u64, u64)>>;
+
+/// Window-verdict bounds recorded while one input walked the opposite
+/// state, classifying every `can_join` outcome it saw. A later input with
+/// the same value signature may replay the walk iff its timestamp provably
+/// reproduces every verdict (see [`ProbeMemo::window_verdicts_hold`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct WindowLog {
+    /// Smallest / largest stored timestamp that passed the window check.
+    pass_min: Option<Timestamp>,
+    pass_max: Option<Timestamp>,
+    /// Largest stored timestamp rejected as expired (older than probe − w).
+    rej_low_max: Option<Timestamp>,
+    /// Smallest stored timestamp rejected as future (newer than probe + w).
+    rej_high_min: Option<Timestamp>,
+}
+
+impl WindowLog {
+    fn note(&mut self, stored_ts: Timestamp, probe_ts: Timestamp, pass: bool) {
+        if pass {
+            self.pass_min = Some(self.pass_min.map_or(stored_ts, |t| t.min(stored_ts)));
+            self.pass_max = Some(self.pass_max.map_or(stored_ts, |t| t.max(stored_ts)));
+        } else if stored_ts < probe_ts {
+            self.rej_low_max = Some(self.rej_low_max.map_or(stored_ts, |t| t.max(stored_ts)));
+        } else {
+            self.rej_high_min = Some(self.rej_high_min.map_or(stored_ts, |t| t.min(stored_ts)));
+        }
+    }
+}
+
+/// One batch's memoized probe outcome for a distinct row value signature:
+/// the result partners, lattice verdicts, detected MNS shapes, and the
+/// counter deltas the walk charged. Replaying charges *identical* counters
+/// (probe pairs, predicate evaluations, lattice visits, Bloom checks) so
+/// batch and tuple mode stay bit-for-bit comparable, while doing one
+/// lattice membership walk per distinct signature instead of per row.
+#[derive(Debug, Clone)]
+struct ProbeMemo {
+    /// Opposite-state generation at capture; any insert/purge/drain/compact
+    /// in between invalidates the memo.
+    generation: u64,
+    probe_pairs: u64,
+    predicate_evals: u64,
+    lattice_nodes: u64,
+    bloom_checks: u64,
+    /// Probe handles of the stored partners that produced results, in
+    /// probe order.
+    result_seqs: Vec<u64>,
+    /// Source sets of the detected MNSs (Ø = empty set); the replay
+    /// projects the *new* input onto them.
+    detected: Vec<SourceSet>,
+    window_log: WindowLog,
+}
+
+impl ProbeMemo {
+    /// Would an input at `ts` have seen exactly the recorded window
+    /// verdicts? Passes must still pass (both bounds re-checked), expired
+    /// rejections must still be expired, future rejections still future.
+    fn window_verdicts_hold(&self, window: Window, ts: Timestamp) -> bool {
+        let w = &self.window_log;
+        w.pass_min.is_none_or(|t| window.can_join(ts, t))
+            && w.pass_max.is_none_or(|t| window.can_join(ts, t))
+            && w.rej_low_max
+                .is_none_or(|t| t < ts && !window.can_join(ts, t))
+            && w.rej_high_min
+                .is_none_or(|t| t > ts && !window.can_join(ts, t))
+    }
+}
 
 /// Binary sliding-window join with JIT feedback (consumer and producer roles).
 pub struct JitJoinOperator {
@@ -107,6 +174,11 @@ pub struct JitJoinOperator {
     /// Inputs buffered while fully suspended, with their arrival instants.
     pending: Vec<(Port, DataMessage, Timestamp)>,
     pending_bytes: usize,
+    /// Per-batch, per-port probe memo keyed by row value signature (both
+    /// ports of one block interleave, so each needs its own map). Cleared
+    /// at every [`Operator::prepare_batch`]; purely transient (never
+    /// checkpointed).
+    batch_memo: [FastMap<Vec<Value>, ProbeMemo>; 2],
 }
 
 impl JitJoinOperator {
@@ -173,6 +245,7 @@ impl JitJoinOperator {
             fully_suspended: false,
             pending: Vec::new(),
             pending_bytes: 0,
+            batch_memo: [FastMap::default(), FastMap::default()],
             name,
             left_schema,
             right_schema,
@@ -258,6 +331,22 @@ impl JitJoinOperator {
         self.predicates.join_columns(mns_sources, external)
     }
 
+    /// Can a purge at `now` remove anything from any of the six containers?
+    /// Each container maintains a (conservative) earliest-expiry bound, so
+    /// the common case — nothing has expired since the last arrival — is
+    /// answered with six O(1) peeks instead of scans. A purge that removes
+    /// nothing charges nothing and emits no feedback, so eliding it is
+    /// observationally identical.
+    fn purge_due(&self, now: Timestamp) -> bool {
+        [LEFT, RIGHT].into_iter().any(|side| {
+            let expired =
+                |ts: Option<Timestamp>| ts.is_some_and(|ts| self.window.is_expired(ts, now));
+            expired(self.states[side].next_expiry())
+                || expired(self.blacklists[side].next_expiry())
+                || expired(self.mns_buffers[side].next_expiry())
+        })
+    }
+
     /// Purge every container and emit resumption feedback for MNSs whose
     /// justification has expired.
     fn purge_all(
@@ -266,6 +355,9 @@ impl JitJoinOperator {
         ctx: &mut OpContext<'_>,
         output: &mut Vec<(Port, Feedback)>,
     ) {
+        if !self.purge_due(now) {
+            return;
+        }
         let mut purged = 0usize;
         for side in [LEFT, RIGHT] {
             purged += self.states[side].purge(self.window, now);
@@ -458,7 +550,7 @@ impl JitJoinOperator {
         for (port, msg, arrived_at) in pending {
             let mut inner = OpContext::new(arrived_at, &mut *ctx.metrics);
             let out = self.process(port, &msg, &mut inner);
-            results.extend(out.results);
+            results.extend(out.result_messages());
             feedback.extend(out.feedback);
         }
         (results, feedback)
@@ -681,28 +773,22 @@ impl JitJoinOperator {
     }
 }
 
-impl Operator for JitJoinOperator {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn output_schema(&self) -> SourceSet {
-        self.left_schema.union(self.right_schema)
-    }
-
-    fn num_ports(&self) -> usize {
-        2
-    }
-
-    fn is_suspended(&self) -> bool {
-        self.fully_suspended
-    }
-
-    fn process(
+impl JitJoinOperator {
+    /// The consumer/producer step for one input (the body of
+    /// [`Operator::process`]).
+    ///
+    /// `memo_key` is the row's value signature on the batch path (`None` on
+    /// the tuple path): rows of one batch that share a signature reuse the
+    /// first row's probe/lattice/detection walk when the [`ProbeMemo`]
+    /// guards prove the replay exact — one lattice membership walk per
+    /// distinct run of equal rows instead of per row, with every counter
+    /// charged identically.
+    fn process_impl(
         &mut self,
         port: Port,
         msg: &DataMessage,
         ctx: &mut OpContext<'_>,
+        memo_key: Option<&[Value]>,
     ) -> OperatorOutput {
         debug_assert!(port == LEFT || port == RIGHT);
         let now = ctx.now;
@@ -732,6 +818,7 @@ impl Operator for JitJoinOperator {
                 ctx.metrics.charge(CostKind::BlacklistMove, 1);
                 return OperatorOutput {
                     results: Vec::new(),
+                    columnar: None,
                     feedback,
                 };
             }
@@ -749,6 +836,51 @@ impl Operator for JitJoinOperator {
             feedback.push((opp, Feedback::resume(resumed_mns)));
         }
 
+        // Batch memo: an equal-signature row earlier in this batch already
+        // walked the opposite state. Replay is exact iff the state is
+        // untouched since (generation) and the new timestamp provably
+        // reproduces every window verdict the walk saw.
+        let memo_ok = memo_key.is_some()
+            && self.states[opp].index_mode() == StateIndexMode::Hashed
+            && !self.states[opp].is_empty()
+            && msg.tuple.sources() == self.schema_of(port);
+        if memo_ok {
+            let key = memo_key.expect("checked by memo_ok");
+            let hit = self.batch_memo[port].get(key).filter(|m| {
+                m.generation == self.states[opp].generation()
+                    && m.window_verdicts_hold(self.window, msg.tuple.ts())
+            });
+            if let Some(m) = hit {
+                let m = m.clone();
+                ctx.metrics.stats.state_probes += 1;
+                ctx.metrics.stats.probe_pairs += m.probe_pairs;
+                ctx.metrics.charge(CostKind::ProbePair, m.probe_pairs);
+                let mut results = ResultBlock::new();
+                for &seq in &m.result_seqs {
+                    let Some(stored) = self.states[opp].get(seq) else {
+                        continue;
+                    };
+                    if msg.tuple.sources().is_disjoint(stored.tuple.sources()) {
+                        ctx.metrics.charge(CostKind::ResultBuild, 1);
+                        results.push_join(&msg.tuple, &stored.tuple, msg.marked);
+                    }
+                }
+                ctx.metrics.stats.predicate_evals += m.predicate_evals;
+                ctx.metrics
+                    .charge(CostKind::PredicateEval, m.predicate_evals);
+                ctx.metrics.stats.lattice_nodes_visited += m.lattice_nodes;
+                ctx.metrics.charge(CostKind::LatticeNode, m.lattice_nodes);
+                ctx.metrics.stats.bloom_checks += m.bloom_checks;
+                ctx.metrics.charge(CostKind::BloomCheck, m.bloom_checks);
+                let detected: Vec<Tuple> = m
+                    .detected
+                    .iter()
+                    .map(|&srcs| msg.tuple.project(srcs))
+                    .collect();
+                return self.finish_process(port, msg, now, detected, results, feedback, ctx);
+            }
+        }
+
         // Consumer step 2: probe the opposite state, producing results and
         // feeding the CNS lattice.
         let candidates = self.candidate_sources(&msg.tuple, port);
@@ -759,9 +891,15 @@ impl Operator for JitJoinOperator {
             _ => None,
         };
         ctx.metrics.stats.state_probes += 1;
-        let mut results = Vec::new();
+        let walk_counters_before = (
+            ctx.metrics.stats.probe_pairs,
+            ctx.metrics.stats.lattice_nodes_visited,
+            ctx.metrics.stats.bloom_checks,
+        );
+        let mut window_log = WindowLog::default();
+        let mut results = ResultBlock::new();
         let mut evals = 0u64;
-        let mut pairs: Vec<Tuple> = Vec::new();
+        let mut pairs: Vec<(u64, Tuple)> = Vec::new();
         if self.states[opp].index_mode() == StateIndexMode::Hashed {
             // Hash-indexed probe: only candidates carrying the full
             // spanning equi-join key (plus unindexable overflow entries)
@@ -786,7 +924,9 @@ impl Operator for JitJoinOperator {
                 };
                 ctx.metrics.stats.probe_pairs += 1;
                 ctx.metrics.charge(CostKind::ProbePair, 1);
-                if !self.window.can_join(msg.tuple.ts(), stored.tuple.ts()) {
+                let pass = self.window.can_join(msg.tuple.ts(), stored.tuple.ts());
+                window_log.note(stored.tuple.ts(), msg.tuple.ts(), pass);
+                if !pass {
                     continue;
                 }
                 let matched =
@@ -795,7 +935,7 @@ impl Operator for JitJoinOperator {
                     l.observe(matched, ctx.metrics);
                 }
                 if matched == candidates {
-                    pairs.push(stored.tuple.clone());
+                    pairs.push((seq, stored.tuple.clone()));
                 }
             }
             // The lattice's remaining nodes are settled by one membership
@@ -840,7 +980,9 @@ impl Operator for JitJoinOperator {
                         };
                         ctx.metrics.stats.probe_pairs += 1;
                         ctx.metrics.charge(CostKind::ProbePair, 1);
-                        if !self.window.can_join(msg.tuple.ts(), stored.tuple.ts()) {
+                        let pass = self.window.can_join(msg.tuple.ts(), stored.tuple.ts());
+                        window_log.note(stored.tuple.ts(), msg.tuple.ts(), pass);
+                        if !pass {
                             continue;
                         }
                         if self.matched_components(&msg.tuple, &stored.tuple, node, &mut evals)
@@ -869,17 +1011,16 @@ impl Operator for JitJoinOperator {
                     l.observe(matched, ctx.metrics);
                 }
                 if matched == candidates {
-                    pairs.push(stored.tuple.clone());
+                    pairs.push((u64::MAX, stored.tuple.clone()));
                 }
             }
         }
-        for stored_tuple in pairs {
-            if let Ok(joined) = msg.tuple.join(&stored_tuple) {
+        let mut result_seqs = Vec::new();
+        for (seq, stored_tuple) in pairs {
+            if msg.tuple.sources().is_disjoint(stored_tuple.sources()) {
                 ctx.metrics.charge(CostKind::ResultBuild, 1);
-                results.push(DataMessage {
-                    tuple: joined,
-                    marked: msg.marked,
-                });
+                results.push_join(&msg.tuple, &stored_tuple, msg.marked);
+                result_seqs.push(seq);
             }
         }
         ctx.metrics.stats.predicate_evals += evals;
@@ -888,6 +1029,39 @@ impl Operator for JitJoinOperator {
         // Consumer step 3: detect MNSs of the input and report them to the
         // producer of this side.
         let detected = self.detect_mns(&msg.tuple, port, candidates, lattice.as_ref(), ctx);
+        if memo_ok {
+            let key = memo_key.expect("checked by memo_ok");
+            self.batch_memo[port].insert(
+                key.to_vec(),
+                ProbeMemo {
+                    generation: self.states[opp].generation(),
+                    probe_pairs: ctx.metrics.stats.probe_pairs - walk_counters_before.0,
+                    predicate_evals: evals,
+                    lattice_nodes: ctx.metrics.stats.lattice_nodes_visited - walk_counters_before.1,
+                    bloom_checks: ctx.metrics.stats.bloom_checks - walk_counters_before.2,
+                    result_seqs,
+                    detected: detected.iter().map(|t| t.sources()).collect(),
+                    window_log,
+                },
+            );
+        }
+        self.finish_process(port, msg, now, detected, results, feedback, ctx)
+    }
+
+    /// Shared tail of [`JitJoinOperator::process_impl`] (live walk and memo
+    /// replay): MNS-buffer insertion + suspension feedback, then
+    /// purge--probe--insert completes with the insertion.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_process(
+        &mut self,
+        port: Port,
+        msg: &DataMessage,
+        now: Timestamp,
+        detected: Vec<Tuple>,
+        results: ResultBlock,
+        mut feedback: Vec<(Port, Feedback)>,
+        ctx: &mut OpContext<'_>,
+    ) -> OperatorOutput {
         let mut fresh = Vec::new();
         for mns in detected {
             if self.mns_buffers[port].insert(mns.clone(), now) {
@@ -899,14 +1073,121 @@ impl Operator for JitJoinOperator {
             feedback.push((port, Feedback::suspend(fresh)));
         }
 
-        // Consumer step 4: purge–probe–insert completes with the insertion.
         self.states[port].insert(msg.tuple.clone(), now);
         self.note_insertion(port, msg.tuple.key());
         self.update_bloom(port, &msg.tuple);
         ctx.metrics.stats.state_insertions += 1;
         ctx.metrics.charge(CostKind::StateInsert, 1);
 
-        OperatorOutput { results, feedback }
+        OperatorOutput {
+            results: Vec::new(),
+            columnar: (!results.is_empty()).then_some(results),
+            feedback,
+        }
+    }
+}
+
+impl Operator for JitJoinOperator {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_schema(&self) -> SourceSet {
+        self.left_schema.union(self.right_schema)
+    }
+
+    fn num_ports(&self) -> usize {
+        2
+    }
+
+    fn is_suspended(&self) -> bool {
+        self.fully_suspended
+    }
+
+    fn process(
+        &mut self,
+        port: Port,
+        msg: &DataMessage,
+        ctx: &mut OpContext<'_>,
+    ) -> OperatorOutput {
+        self.process_impl(port, msg, ctx, None)
+    }
+
+    fn prepare_batch(
+        &mut self,
+        port: Port,
+        batch: &Batch,
+        _block_min_ts: Timestamp,
+        _ctx: &mut OpContext<'_>,
+    ) -> Option<BatchPrep> {
+        // The memo never outlives the block that built it (both per-port
+        // maps are cleared: one block prepares every subscribed port before
+        // its first row).
+        self.batch_memo[LEFT].clear();
+        self.batch_memo[RIGHT].clear();
+        if self.fully_suspended {
+            return None;
+        }
+        let arity = batch.rows().first().map_or(0, |r| r.arity());
+        if arity == 0
+            || batch.len() < 2
+            || self.states[Self::opposite(port)].index_mode() != StateIndexMode::Hashed
+        {
+            return None;
+        }
+        // Row signature = every column of the source, extracted columnar-ly
+        // (typed arrays are copied slice-at-a-time); rows with identical
+        // signatures share one probe/lattice walk via the batch memo.
+        let cols: Vec<ColumnRef> = (0..arity)
+            .map(|c| ColumnRef::new(batch.source(), c as u16))
+            .collect();
+        let mut keys = Vec::new();
+        let mut valid = Vec::new();
+        jit_types::kernel::extract_probe_keys(batch, &cols, &mut keys, &mut valid);
+        // Only signatures that occur more than once in this batch can ever
+        // be replayed; unique rows skip the memo bookkeeping entirely
+        // (their walk is live either way).
+        let mut occurrences: FastMap<&[Value], u32> = FastMap::default();
+        for r in 0..batch.len() {
+            if valid[r] {
+                *occurrences
+                    .entry(&keys[r * arity..(r + 1) * arity])
+                    .or_insert(0) += 1;
+            }
+        }
+        let repeated: Vec<bool> = (0..batch.len())
+            .map(|r| {
+                valid[r]
+                    && occurrences
+                        .get(&keys[r * arity..(r + 1) * arity])
+                        .is_some_and(|&n| n > 1)
+            })
+            .collect();
+        valid = repeated;
+        if !valid.iter().any(|&v| v) {
+            return None;
+        }
+        Some(BatchPrep::Probe(ProbePrep {
+            keys,
+            valid,
+            arity,
+            skip_purge: false,
+        }))
+    }
+
+    fn process_batch_row(
+        &mut self,
+        port: Port,
+        row: usize,
+        prep: &BatchPrep,
+        msg: &DataMessage,
+        ctx: &mut OpContext<'_>,
+    ) -> OperatorOutput {
+        let key = match prep {
+            BatchPrep::Probe(p) => p.key(row),
+            _ => None,
+        };
+        self.process_impl(port, msg, ctx, key)
     }
 
     fn flush(&mut self, ctx: &mut OpContext<'_>) -> FeedbackOutcome {
@@ -944,6 +1225,7 @@ impl Operator for JitJoinOperator {
         self.purge_all(ctx.now, ctx, &mut feedback);
         OperatorOutput {
             results: Vec::new(),
+            columnar: None,
             feedback,
         }
     }
@@ -1203,7 +1485,10 @@ mod tests {
         // And the next arrival joins identically.
         let out_orig = process(&mut orig, RIGHT, &b(5, 4, 1), &mut metrics);
         let out_rest = process(&mut restored, RIGHT, &b(5, 4, 1), &mut metrics);
-        assert_eq!(keys(&out_rest.results), keys(&out_orig.results));
+        assert_eq!(
+            keys(&out_rest.result_messages()),
+            keys(&out_orig.result_messages())
+        );
     }
 
     /// Ø suspension survives a checkpoint: the buffered pending inputs are
@@ -1243,7 +1528,7 @@ mod tests {
         let b1 = b(1, 0, 1);
         let a1b1 = DataMessage::new(a1.tuple.join(&b1.tuple).unwrap());
         let out = process(&mut consumer, LEFT, &a1b1, &mut metrics);
-        assert!(out.results.is_empty());
+        assert!(out.result_messages().is_empty());
         let (port, fb) = out
             .feedback
             .iter()
@@ -1280,10 +1565,14 @@ mod tests {
         // b1, b2, b3 then a1: the probe produces three partial results.
         for (i, bm) in [b(1, 0, 1), b(2, 0, 1), b(3, 0, 1)].iter().enumerate() {
             let out = process(&mut producer, RIGHT, bm, &mut metrics);
-            assert!(out.results.is_empty(), "b{} should produce nothing", i + 1);
+            assert!(
+                out.result_messages().is_empty(),
+                "b{} should produce nothing",
+                i + 1
+            );
         }
         let out = process(&mut producer, LEFT, &a(1, 1, 1, 100), &mut metrics);
-        assert_eq!(out.results.len(), 3);
+        assert_eq!(out.num_results(), 3);
         // The consumer reports a1 as MNS.
         let a1_sub = a(1, 1, 1, 100).tuple;
         let mut ctx = OpContext::new(Timestamp::from_secs(1), &mut metrics);
@@ -1293,15 +1582,15 @@ mod tests {
         assert_eq!(producer.state_len(LEFT), 0);
         // b4 arrives: a1 is no longer in the state, so nothing is produced.
         let out = process(&mut producer, RIGHT, &b(4, 2, 1), &mut metrics);
-        assert!(out.results.is_empty());
+        assert!(out.result_messages().is_empty());
         // a2 has the same join attribute y=100 → diverted into the blacklist.
         let out = process(&mut producer, LEFT, &a(2, 3, 1, 100), &mut metrics);
-        assert!(out.results.is_empty());
+        assert!(out.result_messages().is_empty());
         assert_eq!(producer.blacklist_len(LEFT), 2);
         assert!(metrics.stats.intermediate_suppressed >= 1);
         // An unrelated A tuple (different y) is processed normally.
         let out = process(&mut producer, LEFT, &a(3, 4, 1, 200), &mut metrics);
-        assert_eq!(out.results.len(), 4); // joins b1..b4
+        assert_eq!(out.num_results(), 4); // joins b1..b4
     }
 
     /// Resumption regenerates exactly the missing partial results: a1 is not
@@ -1315,7 +1604,7 @@ mod tests {
         }
         // a1 probes and produces a1b1, a1b2, a1b3 (batch granularity).
         let out = process(&mut producer, LEFT, &a(1, 1, 1, 100), &mut metrics);
-        assert_eq!(out.results.len(), 3);
+        assert_eq!(out.num_results(), 3);
         let a1_sub = a(1, 1, 1, 100).tuple;
         let mut ctx = OpContext::new(Timestamp::from_secs(1), &mut metrics);
         producer.handle_feedback(&Feedback::suspend(vec![a1_sub.clone()]), &mut ctx);
@@ -1354,7 +1643,7 @@ mod tests {
             .any(|(port, fb)| *port == LEFT && fb.command == FeedbackCommand::Resume));
         assert_eq!(consumer.mns_buffer_len(LEFT), 0);
         // c1 also joins the stored a1b1 directly.
-        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.num_results(), 1);
     }
 
     /// Ø suspension buffers inputs and reprocesses them faithfully on resume.
@@ -1366,12 +1655,8 @@ mod tests {
         producer.handle_feedback(&Feedback::suspend(vec![Tuple::empty()]), &mut ctx);
         assert!(producer.is_fully_suspended());
         // Arrivals are buffered, not processed.
-        assert!(process(&mut producer, RIGHT, &b(1, 2, 7), &mut metrics)
-            .results
-            .is_empty());
-        assert!(process(&mut producer, LEFT, &a(1, 3, 7, 50), &mut metrics)
-            .results
-            .is_empty());
+        assert!(process(&mut producer, RIGHT, &b(1, 2, 7), &mut metrics).is_empty());
+        assert!(process(&mut producer, LEFT, &a(1, 3, 7, 50), &mut metrics).is_empty());
         assert_eq!(producer.state_len(LEFT), 0);
         assert_eq!(producer.state_len(RIGHT), 0);
         assert!(producer.memory_bytes() > 0);

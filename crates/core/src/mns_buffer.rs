@@ -396,6 +396,17 @@ impl MnsBuffer {
         matched
     }
 
+    /// The earliest timestamp at which any buffered MNS *could* expire — the
+    /// expiry heap's minimum. Conservative: stale heap positions (already
+    /// removed entries) may report an instant at which [`MnsBuffer::take_expired`]
+    /// removes nothing, which is harmless (it charges nothing and emits no
+    /// feedback). `None` means no purge can ever remove anything (the buffer
+    /// is empty or holds only the never-expiring Ø), so callers can elide
+    /// the purge entirely.
+    pub fn next_expiry(&self) -> Option<Timestamp> {
+        self.expiry.peek().map(|&Reverse((ts, _))| ts)
+    }
+
     /// Remove a specific MNS by identity (used when a producer reports it can
     /// no longer serve it). Returns whether it was present.
     pub fn remove(&mut self, key: &TupleKey) -> bool {

@@ -9,7 +9,9 @@
 //! are non-decreasing at the sinks (the temporal-order requirement of
 //! Section II).
 
-use crate::operator::{BatchPrep, DataMessage, OpContext, OperatorId, Port};
+use crate::operator::{
+    BatchPrep, DataMessage, OpContext, OperatorId, OperatorOutput, Port, ResultBlock,
+};
 use crate::plan::{ExecutablePlan, Input, OperatorSlot};
 use crate::scheduler::{Priority, Scheduler, Task, TaskKind};
 use jit_metrics::{CostKind, MemComponentId, MetricsSnapshot, RunMetrics};
@@ -208,7 +210,7 @@ impl Executor {
             if let Some(BatchPrep::Mask(mask)) = prep {
                 // Selection bitmap: forward or drop the row without a
                 // per-row dispatch; the predicate was charged in prep.
-                if mask[r as usize] {
+                if mask.get(r as usize) {
                     let msg = DataMessage::new(Tuple::from_base(Arc::clone(tuple)));
                     self.route_results(*op, vec![msg], Priority::Normal);
                     self.run_cascade();
@@ -227,8 +229,7 @@ impl Executor {
                     None => slot.operator.process(*port, &msg, &mut ctx),
                 }
             };
-            self.route_results(*op, output.results, Priority::Normal);
-            self.route_feedback(*op, output.feedback);
+            self.route_output(*op, output, Priority::Normal);
             self.run_cascade();
         }
         self.sample_memory();
@@ -253,8 +254,7 @@ impl Executor {
                 let mut ctx = OpContext::new(w, &mut self.metrics);
                 slot.operator.on_watermark(&mut ctx)
             };
-            self.route_results(OperatorId(idx), output.results, Priority::Resumed);
-            self.route_feedback(OperatorId(idx), output.feedback);
+            self.route_output(OperatorId(idx), output, Priority::Resumed);
             self.run_cascade();
         }
     }
@@ -280,8 +280,7 @@ impl Executor {
                     let mut ctx = OpContext::new(now, &mut self.metrics);
                     slot.operator.process(port, &msg, &mut ctx)
                 };
-                self.route_results(task.to, output.results, Priority::Normal);
-                self.route_feedback(task.to, output.feedback);
+                self.route_output(task.to, output, Priority::Normal);
             }
             TaskKind::Feedback(fb) => {
                 let outcome = {
@@ -296,6 +295,75 @@ impl Executor {
                 self.route_feedback(task.to, outcome.propagate);
             }
         }
+    }
+
+    /// Route everything in an [`OperatorOutput`]: row results first, then
+    /// columnar results, then feedback (matching the order the operator
+    /// produced them in).
+    fn route_output(&mut self, from: OperatorId, output: OperatorOutput, priority: Priority) {
+        let OperatorOutput {
+            results,
+            columnar,
+            feedback,
+        } = output;
+        self.route_results(from, results, priority);
+        if let Some(block) = columnar {
+            self.route_columnar(from, block, priority);
+        }
+        self.route_feedback(from, feedback);
+    }
+
+    /// Forward a columnar [`ResultBlock`] to the producing operator's
+    /// consumers. At a sink the rows are counted and order-checked straight
+    /// from the block's timestamp column — no [`Tuple`] is materialised
+    /// unless results are being collected. For intermediate operators each
+    /// row is materialised once ([`ResultBlock::row_message`]) and queued
+    /// per consumer exactly as on the row path, so scheduling order and
+    /// every counter are identical.
+    fn route_columnar(&mut self, from: OperatorId, block: ResultBlock, priority: Priority) {
+        if block.is_empty() {
+            return;
+        }
+        let (is_sink, consumers) = {
+            let slot = &mut self.slots[from.0];
+            (slot.is_sink, std::mem::take(&mut slot.consumers))
+        };
+        if is_sink {
+            for r in 0..block.len() {
+                self.results_count += 1;
+                self.metrics.stats.results_emitted += 1;
+                if self.config.check_temporal_order {
+                    let ts = block.row_ts(r);
+                    if ts < self.last_result_ts {
+                        self.order_violations += 1;
+                    }
+                    self.last_result_ts = self.last_result_ts.max(ts);
+                }
+                if self.config.collect_results {
+                    self.results.push(block.row_message(r).tuple);
+                }
+            }
+        } else {
+            self.metrics.stats.intermediate_produced += block.len() as u64;
+            for r in 0..block.len() {
+                let msg = block.row_message(r);
+                for (consumer, port) in &consumers {
+                    self.metrics.stats.queued_tuples += 1;
+                    self.metrics.charge(CostKind::QueueOp, 1);
+                    self.scheduler.push(
+                        Task {
+                            to: *consumer,
+                            kind: TaskKind::Data {
+                                port: *port,
+                                msg: msg.clone(),
+                            },
+                        },
+                        priority,
+                    );
+                }
+            }
+        }
+        self.slots[from.0].consumers = consumers;
     }
 
     /// Forward an operator's results to its consumers (or record them as
@@ -664,6 +732,7 @@ mod tests {
         ) -> OperatorOutput {
             OperatorOutput {
                 results: vec![msg.clone()],
+                columnar: None,
                 feedback: vec![(LEFT, Feedback::suspend(vec![msg.tuple.clone()]))],
             }
         }

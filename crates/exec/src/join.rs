@@ -9,11 +9,12 @@
 //! [`StateIndexMode::Scan`] forcing the historical behaviour).
 
 use crate::operator::{
-    BatchPrep, DataMessage, OpContext, Operator, OperatorOutput, Port, ProbePrep, LEFT, RIGHT,
+    BatchPrep, DataMessage, OpContext, Operator, OperatorOutput, Port, ProbePrep, ResultBlock,
+    LEFT, RIGHT,
 };
 use crate::state::{JoinKeySpec, OperatorState, StateIndexMode};
 use jit_metrics::{CostKind, RunMetrics};
-use jit_types::{ArrayImpl, Batch, PredicateSet, SourceSet, Timestamp, Value, Window};
+use jit_types::{kernel, Batch, PredicateSet, SourceSet, Timestamp, Value, Window};
 use serde::Content;
 
 /// Binary sliding-window equi-join without feedback (the REF baseline).
@@ -139,8 +140,10 @@ impl RefJoinOperator {
 
         // Probe: only the candidate partners the index returns; the scan
         // baseline iterates the slab directly (no per-probe allocation).
+        // Matches assemble columnar-ly: components land in per-source
+        // columns instead of a fresh sorted `Tuple` per match.
         ctx.metrics.stats.state_probes += 1;
-        let mut results = Vec::new();
+        let mut results = ResultBlock::new();
         let mut evals = 0u64;
         let window = self.window;
         let predicates = &self.predicates;
@@ -150,14 +153,10 @@ impl RefJoinOperator {
                 metrics.charge(CostKind::ProbePair, 1);
                 if window.can_join(msg.tuple.ts(), entry.tuple.ts())
                     && predicates.join_matches(&msg.tuple, &entry.tuple, &mut evals)
+                    && msg.tuple.sources().is_disjoint(entry.tuple.sources())
                 {
-                    if let Ok(joined) = msg.tuple.join(&entry.tuple) {
-                        metrics.charge(CostKind::ResultBuild, 1);
-                        results.push(DataMessage {
-                            tuple: joined,
-                            marked: msg.marked,
-                        });
-                    }
+                    metrics.charge(CostKind::ResultBuild, 1);
+                    results.push_join(&msg.tuple, &entry.tuple, msg.marked);
                 }
             };
             if opp_state.index_mode() == StateIndexMode::Scan {
@@ -186,7 +185,7 @@ impl RefJoinOperator {
 
         hits.clear();
         self.scratch_hits = hits;
-        OperatorOutput::with_results(results)
+        OperatorOutput::with_columnar(results)
     }
 }
 
@@ -242,11 +241,10 @@ impl Operator for RefJoinOperator {
             && clear(&self.right_state)
             && !self.window.is_expired(block_min_ts, horizon);
 
-        // Columnar key extraction: one pass per key column over the batch,
-        // instead of one `Vec<Value>` assembly per row at probe time. Rows
-        // whose key cannot be formed fall back to the scan path, exactly as
-        // a failed `probe_key` does in tuple mode.
-        let n = batch.len();
+        // Columnar key extraction via the shared kernel: one pass per key
+        // column over the batch, instead of one `Vec<Value>` assembly per
+        // row at probe time. Rows whose key cannot be formed fall back to
+        // the scan path, exactly as a failed `probe_key` does in tuple mode.
         let mut keys = Vec::new();
         let mut valid = Vec::new();
         let mut arity = 0;
@@ -254,37 +252,7 @@ impl Operator for RefJoinOperator {
             let cols: Vec<_> = spec.probe_columns().collect();
             if cols.iter().all(|c| c.source == batch.source()) {
                 arity = cols.len();
-                keys = vec![Value::Null; n * arity];
-                valid = vec![true; n];
-                for (ci, col) in cols.iter().enumerate() {
-                    match batch.column(col.column as usize) {
-                        Some(ArrayImpl::Int64(vs)) => {
-                            for (r, &v) in vs.iter().enumerate() {
-                                keys[r * arity + ci] = Value::Int(v);
-                            }
-                        }
-                        Some(arr) => {
-                            for (r, v) in valid.iter_mut().enumerate() {
-                                match arr.get(r) {
-                                    Some(value) => keys[r * arity + ci] = value,
-                                    None => *v = false,
-                                }
-                            }
-                        }
-                        // No columnar projection (or the column is out of
-                        // range): read the row tuples directly.
-                        None => {
-                            for ((r, row), v) in
-                                batch.rows().iter().enumerate().zip(valid.iter_mut())
-                            {
-                                match row.value(col.column) {
-                                    Some(value) => keys[r * arity + ci] = value.clone(),
-                                    None => *v = false,
-                                }
-                            }
-                        }
-                    }
-                }
+                kernel::extract_probe_keys(batch, &cols, &mut keys, &mut valid);
             }
             // else: a probe column lives on another source, so no row of
             // this leaf batch can form the key — arity 0 makes every row
@@ -381,16 +349,16 @@ mod tests {
         let mut metrics = RunMetrics::new();
         // b1 arrives first: no partners yet.
         let out = process(&mut op, RIGHT, &msg(1, 0, 0, 7), &mut metrics);
-        assert!(out.results.is_empty());
+        assert!(out.result_messages().is_empty());
         assert_eq!(op.right_len(), 1);
         // a1 with matching value joins b1.
         let out = process(&mut op, LEFT, &msg(0, 0, 1_000, 7), &mut metrics);
-        assert_eq!(out.results.len(), 1);
-        assert_eq!(out.results[0].tuple.num_parts(), 2);
+        assert_eq!(out.num_results(), 1);
+        assert_eq!(out.result_messages()[0].tuple.num_parts(), 2);
         assert_eq!(op.left_len(), 1);
         // a2 with a different value does not join.
         let out = process(&mut op, LEFT, &msg(0, 1, 2_000, 8), &mut metrics);
-        assert!(out.results.is_empty());
+        assert!(out.result_messages().is_empty());
         assert_eq!(op.left_len(), 2);
         assert_eq!(metrics.stats.state_insertions, 3);
         // Indexed probing examines only candidates: a1 met b1's bucket, a2's
@@ -405,7 +373,7 @@ mod tests {
         process(&mut op, RIGHT, &msg(1, 0, 0, 7), &mut metrics);
         process(&mut op, LEFT, &msg(0, 0, 1_000, 7), &mut metrics);
         let out = process(&mut op, LEFT, &msg(0, 1, 2_000, 8), &mut metrics);
-        assert!(out.results.is_empty());
+        assert!(out.result_messages().is_empty());
         // The scan baseline pays one probe pair per stored opposite tuple.
         assert_eq!(metrics.stats.probe_pairs, 2);
     }
@@ -418,7 +386,7 @@ mod tests {
             process(&mut op, RIGHT, &msg(1, i, i * 10, 5), &mut metrics);
         }
         let out = process(&mut op, LEFT, &msg(0, 0, 1_000, 5), &mut metrics);
-        assert_eq!(out.results.len(), 3);
+        assert_eq!(out.num_results(), 3);
     }
 
     #[test]
@@ -428,7 +396,7 @@ mod tests {
         process(&mut op, RIGHT, &msg(1, 0, 0, 7), &mut metrics);
         // 2 minutes later (window is 1 minute) the b tuple has expired.
         let out = process(&mut op, LEFT, &msg(0, 0, 120_000, 7), &mut metrics);
-        assert!(out.results.is_empty());
+        assert!(out.result_messages().is_empty());
         assert_eq!(op.right_len(), 0);
         assert_eq!(metrics.stats.purged_tuples, 1);
     }
@@ -441,13 +409,13 @@ mod tests {
         // Exactly w apart: |t - t'| = w is allowed to join per Section II,
         // but the stored tuple expires at ts + w, so purge removes it first.
         let out = process(&mut op, LEFT, &msg(0, 0, 60_000, 7), &mut metrics);
-        assert!(out.results.is_empty());
+        assert!(out.result_messages().is_empty());
         // Just inside the window it joins.
         let mut op = setup();
         let mut metrics = RunMetrics::new();
         process(&mut op, RIGHT, &msg(1, 0, 0, 7), &mut metrics);
         let out = process(&mut op, LEFT, &msg(0, 0, 59_999, 7), &mut metrics);
-        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.num_results(), 1);
     }
 
     #[test]
@@ -483,8 +451,8 @@ mod tests {
         let mut marked = msg(0, 0, 100, 7);
         marked.marked = true;
         let out = process(&mut op, LEFT, &marked, &mut metrics);
-        assert_eq!(out.results.len(), 1);
-        assert!(out.results[0].marked);
+        assert_eq!(out.num_results(), 1);
+        assert!(out.result_messages()[0].marked);
     }
 
     #[test]
@@ -513,7 +481,7 @@ mod tests {
         )));
         let ab = DataMessage::new(a.join(&b).unwrap());
         let mut ctx = OpContext::new(ab.tuple.ts(), &mut metrics);
-        assert!(op.process(LEFT, &ab, &mut ctx).results.is_empty());
+        assert!(op.process(LEFT, &ab, &mut ctx).result_messages().is_empty());
         // C must match A on x0=9 and B on x1=4.
         let c_good = msg(2, 0, 100, 0);
         let c_good = DataMessage::new(Tuple::from_base(Arc::new(BaseTuple::new(
@@ -524,8 +492,8 @@ mod tests {
         ))));
         let mut ctx = OpContext::new(c_good.tuple.ts(), &mut metrics);
         let out = op.process(RIGHT, &c_good, &mut ctx);
-        assert_eq!(out.results.len(), 1);
-        assert_eq!(out.results[0].tuple.num_parts(), 3);
+        assert_eq!(out.num_results(), 1);
+        assert_eq!(out.result_messages()[0].tuple.num_parts(), 3);
         // A C tuple matching A but not B does not join.
         let c_bad = DataMessage::new(Tuple::from_base(Arc::new(BaseTuple::new(
             SourceId(2),
@@ -534,6 +502,9 @@ mod tests {
             vec![Value::int(9), Value::int(5)],
         ))));
         let mut ctx = OpContext::new(c_bad.tuple.ts(), &mut metrics);
-        assert!(op.process(RIGHT, &c_bad, &mut ctx).results.is_empty());
+        assert!(op
+            .process(RIGHT, &c_bad, &mut ctx)
+            .result_messages()
+            .is_empty());
     }
 }

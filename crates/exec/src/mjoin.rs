@@ -7,7 +7,9 @@
 //! tuples to probe, and a maintenance input carrying the tuples of the source
 //! whose state it owns.
 
-use crate::operator::{DataMessage, OpContext, Operator, OperatorOutput, Port, LEFT, RIGHT};
+use crate::operator::{
+    DataMessage, OpContext, Operator, OperatorOutput, Port, ResultBlock, LEFT, RIGHT,
+};
 use crate::state::{JoinKeySpec, OperatorState, StateIndexMode};
 use jit_metrics::{CostKind, RunMetrics};
 use jit_types::{PredicateSet, SourceSet, Window};
@@ -100,9 +102,14 @@ impl Operator for HalfJoinOperator {
             }
             _ => {
                 // Probe the state with the pipeline tuple; do not store it.
-                // The scan baseline iterates the slab directly.
+                // The scan baseline iterates the slab directly. Matches
+                // assemble columnar-ly, as in the symmetric join: components
+                // land in per-source columns instead of a fresh sorted
+                // `Tuple` per match ([`Tuple::join`] fails exactly when the
+                // coverages overlap, so the disjointness guard is the same
+                // filter the row path applied).
                 ctx.metrics.stats.state_probes += 1;
-                let mut results = Vec::new();
+                let mut results = ResultBlock::new();
                 let mut evals = 0u64;
                 let window = self.window;
                 let predicates = &self.predicates;
@@ -113,14 +120,10 @@ impl Operator for HalfJoinOperator {
                             metrics.charge(CostKind::ProbePair, 1);
                             if window.can_join(msg.tuple.ts(), entry.tuple.ts())
                                 && predicates.join_matches(&msg.tuple, &entry.tuple, &mut evals)
+                                && msg.tuple.sources().is_disjoint(entry.tuple.sources())
                             {
-                                if let Ok(joined) = msg.tuple.join(&entry.tuple) {
-                                    metrics.charge(CostKind::ResultBuild, 1);
-                                    results.push(DataMessage {
-                                        tuple: joined,
-                                        marked: msg.marked,
-                                    });
-                                }
+                                metrics.charge(CostKind::ResultBuild, 1);
+                                results.push_join(&msg.tuple, &entry.tuple, msg.marked);
                             }
                         };
                     if self.state.index_mode() == StateIndexMode::Scan {
@@ -137,7 +140,7 @@ impl Operator for HalfJoinOperator {
                 }
                 ctx.metrics.stats.predicate_evals += evals;
                 ctx.metrics.charge(CostKind::PredicateEval, evals);
-                OperatorOutput::with_results(results)
+                OperatorOutput::with_columnar(results)
             }
         }
     }
@@ -202,7 +205,8 @@ mod tests {
         op.process(MAINTENANCE_PORT, &msg(1, 1, 10, &[8]), &mut ctx);
         let mut ctx = OpContext::new(Timestamp::from_millis(100), &mut metrics);
         let out = op.process(PROBE_PORT, &msg(0, 0, 100, &[7]), &mut ctx);
-        assert_eq!(out.results.len(), 1);
+        assert!(out.results.is_empty(), "probe output is columnar");
+        assert_eq!(out.columnar.map_or(0, |b| b.len()), 1);
         // The probe tuple is NOT inserted — the M-Join stores no intermediates.
         assert_eq!(op.state_len(), 2);
     }
@@ -216,6 +220,7 @@ mod tests {
         let mut ctx = OpContext::new(Timestamp::from_millis(120_000), &mut metrics);
         let out = op.process(PROBE_PORT, &msg(0, 0, 120_000, &[7]), &mut ctx);
         assert!(out.results.is_empty());
+        assert!(out.columnar.is_none_or(|b| b.is_empty()));
         assert_eq!(op.state_len(), 0);
     }
 

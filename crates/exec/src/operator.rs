@@ -8,9 +8,13 @@
 //! propagating feedback further upstream (Section III-C of the paper).
 
 use jit_metrics::RunMetrics;
-use jit_types::{Batch, ColumnRef, Feedback, Signature, SourceSet, Timestamp, Tuple, Value};
+use jit_types::{
+    BaseTuple, Batch, BitMask, ColumnRef, Feedback, Signature, SourceId, SourceSet, Timestamp,
+    Tuple, Value,
+};
 use serde::Content;
 use std::fmt;
+use std::sync::Arc;
 
 /// Index of an operator input port. Binary operators use [`LEFT`] and
 /// [`RIGHT`]; n-ary operators (e.g. the Eddy) use ports `0..n`.
@@ -64,11 +68,115 @@ impl DataMessage {
     }
 }
 
+/// Columnar join results from one operator call: instead of one row
+/// [`Tuple`] allocation per match (a sorted `Arc<[Arc<BaseTuple>]>` each),
+/// matches accumulate into per-source component columns. Every result of a
+/// given join operator covers the same source set, so the block is
+/// rectangular: `columns[c][r]` is row `r`'s component from `sources[c]`.
+///
+/// Rows are only re-materialised into [`Tuple`]s when a consumer actually
+/// needs them ([`ResultBlock::row_message`], via the cheap
+/// [`Tuple::from_sorted_parts`] — the columns are already in source order);
+/// a sink that merely counts and order-checks results never rowifies.
+#[derive(Debug, Default, Clone)]
+pub struct ResultBlock {
+    /// Covered sources, ascending; fixed by the first pushed match.
+    sources: Vec<SourceId>,
+    /// One component column per source, all of equal length.
+    columns: Vec<Vec<Arc<BaseTuple>>>,
+    /// Per-row result timestamp (max component timestamp).
+    ts: Vec<Timestamp>,
+    /// Per-row mark flag.
+    marked: Vec<bool>,
+}
+
+impl ResultBlock {
+    /// An empty block.
+    pub fn new() -> Self {
+        ResultBlock::default()
+    }
+
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// Is the block empty?
+    pub fn is_empty(&self) -> bool {
+        self.ts.is_empty()
+    }
+
+    /// Append the join of two tuples with disjoint source coverage — the
+    /// columnar counterpart of [`Tuple::join`] (components distributed to
+    /// their source columns; no per-row sort, no per-row `Arc` slice).
+    pub fn push_join(&mut self, a: &Tuple, b: &Tuple, marked: bool) {
+        debug_assert!(a.sources().is_disjoint(b.sources()));
+        if self.sources.is_empty() && self.columns.is_empty() {
+            // First match fixes the layout: merge the two sorted part lists.
+            let mut ai = a.parts().iter().peekable();
+            let mut bi = b.parts().iter().peekable();
+            while ai.peek().is_some() || bi.peek().is_some() {
+                let from_a = match (ai.peek(), bi.peek()) {
+                    (Some(x), Some(y)) => x.source < y.source,
+                    (Some(_), None) => true,
+                    _ => false,
+                };
+                let part = if from_a {
+                    ai.next().expect("peeked")
+                } else {
+                    bi.next().expect("peeked")
+                };
+                self.sources.push(part.source);
+                self.columns.push(vec![part.clone()]);
+            }
+        } else {
+            let mut ai = a.parts().iter().peekable();
+            let mut bi = b.parts().iter().peekable();
+            for (source, column) in self.sources.iter().zip(&mut self.columns) {
+                let part = if ai.peek().is_some_and(|p| p.source == *source) {
+                    ai.next().expect("peeked")
+                } else if bi.peek().is_some_and(|p| p.source == *source) {
+                    bi.next().expect("peeked")
+                } else {
+                    panic!("match does not cover block source {source}");
+                };
+                column.push(part.clone());
+            }
+            debug_assert!(ai.next().is_none() && bi.next().is_none());
+        }
+        self.ts.push(a.ts().max(b.ts()));
+        self.marked.push(marked);
+    }
+
+    /// Row `r`'s result timestamp.
+    pub fn row_ts(&self, r: usize) -> Timestamp {
+        self.ts[r]
+    }
+
+    /// Row `r`'s mark flag.
+    pub fn row_marked(&self, r: usize) -> bool {
+        self.marked[r]
+    }
+
+    /// Materialise row `r` as a [`DataMessage`] (the row/column boundary:
+    /// called only when a consumer needs an actual tuple).
+    pub fn row_message(&self, r: usize) -> DataMessage {
+        let parts: Vec<Arc<BaseTuple>> = self.columns.iter().map(|c| c[r].clone()).collect();
+        DataMessage {
+            tuple: Tuple::from_sorted_parts(parts),
+            marked: self.marked[r],
+        }
+    }
+}
+
 /// Everything an operator returns from processing one input message.
 #[derive(Debug, Default, Clone)]
 pub struct OperatorOutput {
     /// Result messages to forward to the operator's consumers.
     pub results: Vec<DataMessage>,
+    /// Columnar results (see [`ResultBlock`]); routed after `results`.
+    /// Operators use one representation per call, never both.
+    pub columnar: Option<ResultBlock>,
     /// Feedback to send to the producer feeding the given port.
     pub feedback: Vec<(Port, Feedback)>,
 }
@@ -83,13 +191,38 @@ impl OperatorOutput {
     pub fn with_results(results: Vec<DataMessage>) -> Self {
         OperatorOutput {
             results,
+            columnar: None,
+            feedback: Vec::new(),
+        }
+    }
+
+    /// Only columnar results (empty blocks are dropped to `None`).
+    pub fn with_columnar(block: ResultBlock) -> Self {
+        OperatorOutput {
+            results: Vec::new(),
+            columnar: (!block.is_empty()).then_some(block),
             feedback: Vec::new(),
         }
     }
 
     /// Is there nothing to deliver?
     pub fn is_empty(&self) -> bool {
-        self.results.is_empty() && self.feedback.is_empty()
+        self.results.is_empty() && self.columnar.is_none() && self.feedback.is_empty()
+    }
+
+    /// Total number of result rows (row and columnar).
+    pub fn num_results(&self) -> usize {
+        self.results.len() + self.columnar.as_ref().map_or(0, ResultBlock::len)
+    }
+
+    /// All result rows as materialised messages, in routing order — the
+    /// row view for callers (and tests) that need actual tuples.
+    pub fn result_messages(&self) -> Vec<DataMessage> {
+        let mut out = self.results.clone();
+        if let Some(block) = &self.columnar {
+            out.extend((0..block.len()).map(|r| block.row_message(r)));
+        }
+        out
     }
 }
 
@@ -196,11 +329,11 @@ fn cmp_sig(a: &(Vec<ColumnRef>, Signature), b: &(Vec<ColumnRef>, Signature)) -> 
 /// purely a cheaper way to do per-row work that the columnar layout lets
 /// the operator front-load:
 ///
-/// * [`BatchPrep::Mask`] — a selection bitmap. The executor forwards row
-///   `i` to the operator's consumers iff `mask[i]`, without dispatching a
-///   per-row `process` call (the predicate charges were paid in
-///   `prepare_batch`). Masked-out rows are simply not forwarded; the batch
-///   itself is never dropped.
+/// * [`BatchPrep::Mask`] — a selection bitmap, packed 64 rows per word
+///   ([`BitMask`]). The executor forwards row `i` to the operator's
+///   consumers iff bit `i` is set, without dispatching a per-row `process`
+///   call (the predicate charges were paid in `prepare_batch`). Masked-out
+///   rows are simply not forwarded; the batch itself is never dropped.
 /// * [`BatchPrep::Probe`] — pre-extracted hash-probe keys for a join. The
 ///   executor still calls [`Operator::process_batch_row`] per row, which
 ///   probes with the ready-made key slice instead of re-assembling a
@@ -209,7 +342,7 @@ fn cmp_sig(a: &(Vec<ColumnRef>, Signature), b: &(Vec<ColumnRef>, Signature)) -> 
 pub enum BatchPrep {
     /// Selection bitmap over the batch rows (see above); consumed by the
     /// executor directly.
-    Mask(Vec<bool>),
+    Mask(BitMask),
     /// Pre-extracted probe keys; consumed by
     /// [`Operator::process_batch_row`].
     Probe(ProbePrep),

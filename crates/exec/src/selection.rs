@@ -6,7 +6,7 @@
 
 use crate::operator::{BatchPrep, DataMessage, OpContext, Operator, OperatorOutput, Port};
 use jit_metrics::CostKind;
-use jit_types::{ArrayImpl, Batch, CompareOp, FilterPredicate, SourceSet, Timestamp, Value};
+use jit_types::{kernel, Batch, BitMask, CompareOp, FilterPredicate, SourceSet, Timestamp};
 
 /// A stateless filter that forwards only the tuples satisfying its predicate.
 #[derive(Debug)]
@@ -35,47 +35,36 @@ impl SelectionOperator {
         &self.predicate
     }
 
-    /// Evaluate the predicate over every row of `batch` into `mask`.
-    ///
-    /// When the batch carries a typed integer column for the filtered
-    /// column and the constant is an integer, the whole batch is decided in
-    /// one pass over a `&[i64]` slice; otherwise each row is checked
-    /// against its [`jit_types::BaseTuple`], with the same "not applicable
-    /// is rejection" semantics as the tuple path.
-    fn eval_batch(&self, batch: &Batch, mask: &mut Vec<bool>) {
+    /// Evaluate the predicate over every row of `batch` into a packed mask —
+    /// one [`kernel::filter_mask`] call when the batch carries a columnar
+    /// projection of the filtered column, the scalar per-row check
+    /// otherwise. "Not applicable" (a row not carrying the column) is a
+    /// rejection, exactly as on the tuple path.
+    fn eval_batch(&self, batch: &Batch, mask: &mut BitMask) {
         let col = self.predicate.column;
         if col.source != batch.source() {
             // The filtered column cannot appear on any row of this batch.
-            mask.resize(batch.len(), false);
+            *mask = BitMask::zeros(batch.len());
             return;
         }
+        if let Some(array) = batch.column(col.column as usize) {
+            kernel::filter_mask(array, self.predicate.op, &self.predicate.constant, mask);
+            return;
+        }
+        // No columnar projection (or the column is beyond it): decide each
+        // row from its base tuple.
+        *mask = BitMask::zeros(batch.len());
         let op = self.predicate.op;
-        if let (Some(values), Value::Int(c)) = (
-            batch
-                .column(col.column as usize)
-                .and_then(ArrayImpl::as_i64),
-            &self.predicate.constant,
-        ) {
-            let c = *c;
-            mask.extend(values.iter().map(|&v| match op {
-                CompareOp::Eq => v == c,
-                CompareOp::Ne => v != c,
-                CompareOp::Lt => v < c,
-                CompareOp::Le => v <= c,
-                CompareOp::Gt => v > c,
-                CompareOp::Ge => v >= c,
-            }));
-            return;
-        }
-        for row in batch.rows() {
-            mask.push(row.value(col.column).is_some_and(|v| match op {
+        for (i, row) in batch.rows().iter().enumerate() {
+            let pass = row.value(col.column).is_some_and(|v| match op {
                 CompareOp::Eq => *v == self.predicate.constant,
                 CompareOp::Ne => *v != self.predicate.constant,
                 CompareOp::Lt => *v < self.predicate.constant,
                 CompareOp::Le => *v <= self.predicate.constant,
                 CompareOp::Gt => *v > self.predicate.constant,
                 CompareOp::Ge => *v >= self.predicate.constant,
-            }));
+            });
+            mask.set(i, pass);
         }
     }
 }
@@ -122,7 +111,7 @@ impl Operator for SelectionOperator {
         ctx.metrics.stats.predicate_evals += batch.len() as u64;
         ctx.metrics
             .charge(CostKind::PredicateEval, batch.len() as u64);
-        let mut mask = Vec::with_capacity(batch.len());
+        let mut mask = BitMask::new();
         self.eval_batch(batch, &mut mask);
         Some(BatchPrep::Mask(mask))
     }

@@ -72,8 +72,7 @@
 use jit_types::{ColumnRef, FastMap, PredicateSet, SourceSet, Timestamp, Tuple, Value, Window};
 use serde::{Content, Deserialize, Serialize};
 use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::hash::Hash;
 use std::rc::Rc;
@@ -202,16 +201,143 @@ impl JoinKeySpec {
     }
 }
 
+/// Timestamp-sorted expiry queue exploiting the near-sorted insert order of
+/// window states: arrivals enter in nondecreasing timestamp order, so the
+/// common push is an O(1) tail append and the common pop an O(1) head
+/// advance over contiguous memory — where a binary heap paid a cache-hostile
+/// sift per operation. Out-of-order pushes (restores of drained entries with
+/// their original timestamps) binary-search their slot; the memmove is rare
+/// in practice.
+#[derive(Debug, Clone, Default)]
+struct ExpiryQueue {
+    /// `(timestamp, handle)`, ascending by timestamp from the front.
+    entries: VecDeque<(Timestamp, u64)>,
+}
+
+impl ExpiryQueue {
+    fn push(&mut self, ts: Timestamp, seq: u64) {
+        match self.entries.back() {
+            Some(&(last, _)) if ts < last => {
+                let idx = self.entries.partition_point(|&(t, _)| t <= ts);
+                self.entries.insert(idx, (ts, seq));
+            }
+            _ => self.entries.push_back((ts, seq)),
+        }
+    }
+
+    fn peek(&self) -> Option<(Timestamp, u64)> {
+        self.entries.front().copied()
+    }
+
+    fn pop(&mut self) -> Option<(Timestamp, u64)> {
+        self.entries.pop_front()
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// Bucket storage for a [`HashIndex`], specialized by key shape.
+///
+/// The dominant equi-join key in practice is a single `Int` column; for it
+/// the generic `Vec<Value>` keying costs real per-probe time — every hash
+/// walks a heap-allocated enum slice and every hit compares through a
+/// pointer chase, and every new key allocates an owned `Vec`. The `Int`
+/// variant keys the map with the inline `i64` instead. An index starts in
+/// `Int` mode and migrates (once, rehashing existing entries) to `Generic`
+/// the first time a key arrives that is not a single integer.
+#[derive(Debug, Clone)]
+pub(crate) enum Buckets {
+    /// Single-column integer keys, stored inline.
+    Int(FastMap<i64, Vec<u64>>),
+    /// Composite or non-integer keys.
+    Generic(FastMap<Vec<Value>, Vec<u64>>),
+}
+
+impl Default for Buckets {
+    fn default() -> Self {
+        Buckets::Int(FastMap::default())
+    }
+}
+
+impl Buckets {
+    /// The bucket filed under `key`, if any. A non-`Int` probe key against
+    /// an `Int`-mode map correctly finds nothing (only single-integer keys
+    /// have ever been filed in it).
+    fn get(&self, key: &[Value]) -> Option<&Vec<u64>> {
+        match self {
+            Buckets::Int(map) => match key {
+                [Value::Int(v)] => map.get(v),
+                _ => None,
+            },
+            Buckets::Generic(map) => map.get(key),
+        }
+    }
+
+    /// Mutable variant of [`Buckets::get`].
+    fn get_mut(&mut self, key: &[Value]) -> Option<&mut Vec<u64>> {
+        match self {
+            Buckets::Int(map) => match key {
+                [Value::Int(v)] => map.get_mut(v),
+                _ => None,
+            },
+            Buckets::Generic(map) => map.get_mut(key),
+        }
+    }
+
+    /// Append `handle` to the bucket for `key`, migrating `Int → Generic`
+    /// if the key does not fit the specialized shape.
+    fn push(&mut self, key: &[Value], handle: u64) {
+        loop {
+            match self {
+                Buckets::Int(map) => {
+                    if let [Value::Int(v)] = key {
+                        map.entry(*v).or_default().push(handle);
+                        return;
+                    }
+                    let migrated: FastMap<Vec<Value>, Vec<u64>> = map
+                        .drain()
+                        .map(|(k, bucket)| (vec![Value::Int(k)], bucket))
+                        .collect();
+                    *self = Buckets::Generic(migrated);
+                }
+                Buckets::Generic(map) => {
+                    // `Vec<Value>: Borrow<[Value]>` lets the lookup run on
+                    // the borrowed slice; an owned key is allocated only
+                    // when the bucket sees the key for the first time.
+                    match map.get_mut(key) {
+                        Some(bucket) => bucket.push(handle),
+                        None => {
+                            map.insert(key.to_vec(), vec![handle]);
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Buckets::Int(map) => map.clear(),
+            Buckets::Generic(map) => map.clear(),
+        }
+    }
+}
+
 /// One hash index over a tuple collection, for one [`JoinKeySpec`] — the
 /// bucket/overflow machinery shared by [`OperatorState`] (lazily built,
 /// incrementally maintained) and the static join (built once over an
 /// immutable relation).
 #[derive(Debug, Clone, Default)]
 pub(crate) struct HashIndex {
-    /// Key value vector → handles of stored tuples carrying that key,
-    /// ascending (i.e. in insertion order). Keyed with the fast
-    /// multiplicative hasher: buckets are probed once per arrival.
-    buckets: FastMap<Vec<Value>, Vec<u64>>,
+    /// Key → handles of stored tuples carrying that key, ascending (i.e.
+    /// in insertion order). Keyed with the fast multiplicative hasher:
+    /// buckets are probed once per arrival. Handles of removed tuples are
+    /// reclaimed lazily (the reader filters through `get`); compaction
+    /// rebuilds the index wholesale, which bounds the stale fraction.
+    buckets: Buckets,
     /// Handles of stored tuples missing a stored-side key column; always
     /// scanned in addition to the bucket. Ascending.
     overflow: Vec<u64>,
@@ -226,8 +352,7 @@ impl HashIndex {
     }
 
     /// Like [`HashIndex::file`], but the key is formed in a caller-owned
-    /// scratch buffer; an owned key `Vec` is allocated only when the key is
-    /// seen for the first time.
+    /// scratch buffer.
     pub(crate) fn file_with(
         &mut self,
         spec: &JoinKeySpec,
@@ -236,21 +361,15 @@ impl HashIndex {
         scratch: &mut Vec<Value>,
     ) {
         if spec.stored_key_into(tuple, scratch) {
-            // `Vec<Value>: Borrow<[Value]>` lets the lookup run on the
-            // scratch slice without materialising an owned key.
-            match self.buckets.get_mut(&scratch[..]) {
-                Some(bucket) => bucket.push(handle),
-                None => {
-                    self.buckets.insert(scratch.clone(), vec![handle]);
-                }
-            }
+            self.buckets.push(scratch, handle);
         } else {
             self.overflow.push(handle);
         }
     }
 
     /// The candidates for one probe key: the key's bucket merged with the
-    /// overflow list, ascending.
+    /// overflow list, ascending. May include handles of since-removed
+    /// tuples; the caller's `get` filters them.
     pub(crate) fn candidates(&self, key: &[Value]) -> Vec<u64> {
         let bucket = self.buckets.get(key).map(Vec::as_slice).unwrap_or_default();
         if self.overflow.is_empty() {
@@ -279,15 +398,19 @@ pub struct OperatorState {
     name: String,
     mode: StateIndexMode,
     /// Live entries (and tombstones) in insertion order; the entry with
-    /// handle `seq` is at index `seq - base`.
-    slots: Vec<Option<StoredTuple>>,
-    /// Handle of `slots[0]`. Seqs below `base` are dead (compacted away).
+    /// handle `seq` is at index `seq - base`. A deque so that purges —
+    /// which remove the oldest timestamps, i.e. (almost always) the front —
+    /// shrink the slab in O(1) instead of leaving tombstones that force
+    /// periodic compaction. Mid-slab removals (drains) still tombstone.
+    slots: VecDeque<Option<StoredTuple>>,
+    /// Handle of the front slot. Seqs below `base` are dead (purged off the
+    /// front or compacted away).
     base: u64,
     /// Number of `Some` slots.
     live_count: usize,
-    /// Min-heap of `(tuple timestamp, seq)`: the next entry to expire is on
-    /// top. Stale seqs are skipped when popped.
-    expiry: BinaryHeap<Reverse<(Timestamp, u64)>>,
+    /// Timestamp-sorted queue of `(tuple timestamp, seq)`: the next entry
+    /// to expire is at the front. Stale seqs are skipped when popped.
+    expiry: ExpiryQueue,
     /// The indexes built so far, one per probe pattern observed. A state
     /// sees one or two distinct probe patterns in practice, so a
     /// linear-scanned vector beats hashing the spec on every probe.
@@ -297,6 +420,12 @@ pub struct OperatorState {
     /// formed here and only cloned into an owned `Vec` when a bucket sees a
     /// key for the first time.
     key_scratch: Vec<Value>,
+    /// Content-mutation counter: bumped by every insertion, removal,
+    /// compaction (which rebases probe handles) and restore. Probes do not
+    /// bump it (lazy index construction does not change the stored
+    /// contents). Lets callers cache probe outcomes — equal generation
+    /// guarantees identical contents *and* stable handles.
+    generation: u64,
 }
 
 impl OperatorState {
@@ -381,15 +510,16 @@ impl OperatorState {
     }
 
     fn admit(&mut self, entry: StoredTuple) {
+        self.generation += 1;
         let seq = self.base + self.slots.len() as u64;
         self.bytes += entry.tuple.size_bytes();
-        self.expiry.push(Reverse((entry.tuple.ts(), seq)));
+        self.expiry.push(entry.tuple.ts(), seq);
         let mut scratch = std::mem::take(&mut self.key_scratch);
         for (spec, index) in self.indexes.iter_mut() {
             index.file_with(spec, &entry.tuple, seq, &mut scratch);
         }
         self.key_scratch = scratch;
-        self.slots.push(Some(entry));
+        self.slots.push_back(Some(entry));
         self.live_count += 1;
     }
 
@@ -397,9 +527,20 @@ impl OperatorState {
     fn take(&mut self, seq: u64) -> Option<StoredTuple> {
         let idx = seq.checked_sub(self.base)? as usize;
         let entry = self.slots.get_mut(idx)?.take()?;
+        self.generation += 1;
         self.bytes -= entry.tuple.size_bytes();
         self.live_count -= 1;
         Some(entry)
+    }
+
+    /// Drop leading tombstones, advancing `base` past them — the O(1)
+    /// reclamation path for purges (which remove the oldest timestamps,
+    /// i.e. the front of the insertion-ordered slab).
+    fn trim_front(&mut self) {
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
     }
 
     /// Remove every tuple that has expired by `now` under `window`; returns
@@ -411,7 +552,7 @@ impl OperatorState {
     /// intermediate result inserted late still expires at its original time.
     pub fn purge(&mut self, window: Window, now: Timestamp) -> usize {
         let mut removed = 0usize;
-        while let Some(&Reverse((ts, seq))) = self.expiry.peek() {
+        while let Some((ts, seq)) = self.expiry.peek() {
             if let Some(entry) = self.get(seq) {
                 if !window.is_expired(entry.tuple.ts(), now) {
                     break;
@@ -420,9 +561,10 @@ impl OperatorState {
                 self.take(seq).expect("checked live");
                 removed += 1;
             }
-            // Stale heap entries (drained tuples) are skipped silently.
+            // Stale queue entries (drained tuples) are skipped silently.
             self.expiry.pop();
         }
+        self.trim_front();
         self.maybe_compact();
         removed
     }
@@ -441,12 +583,16 @@ impl OperatorState {
                 drained.push(entry);
             }
         }
+        if !drained.is_empty() {
+            self.generation += 1;
+        }
         self.maybe_compact();
         drained
     }
 
     /// Remove everything (indexes included; they rebuild lazily).
     pub fn clear(&mut self) {
+        self.generation += 1;
         // Rebase past every handle ever issued so stale handles stay dead.
         self.base += self.slots.len() as u64;
         self.slots.clear();
@@ -554,13 +700,18 @@ impl OperatorState {
         }
     }
 
-    /// Shared tail of the hashed probe paths: retain-live maintenance plus
-    /// bucket/overflow merge, written into `out`.
+    /// Shared tail of the hashed probe paths: bucket/overflow merge,
+    /// written into `out`.
+    ///
+    /// Index buckets hold handles of since-removed tuples until compaction
+    /// rebuilds them (which bounds the stale fraction at ~50%); the probe
+    /// filters them out read-only here instead of rewriting the bucket on
+    /// every lookup, so the hot path stays alloc- and write-free.
     fn probe_key_slice_into(&mut self, spec: &JoinKeySpec, key: &[Value], out: &mut Vec<u64>) {
         self.ensure_index(spec);
         let slots = &self.slots;
         let base = self.base;
-        let is_live = |seq: &u64| {
+        let is_live = |seq: u64| {
             seq.checked_sub(base)
                 .and_then(|idx| slots.get(idx as usize))
                 .is_some_and(|slot| slot.is_some())
@@ -570,17 +721,23 @@ impl OperatorState {
             .iter_mut()
             .find_map(|(s, index)| (s == spec).then_some(index))
             .expect("just ensured");
-        index.overflow.retain(is_live);
-        let bucket: &[u64] = match index.buckets.get_mut(key) {
-            Some(bucket) => {
-                bucket.retain(is_live);
-                bucket
-            }
-            None => &[],
+        let Some(bucket) = index.buckets.get_mut(key) else {
+            index.overflow.retain(|&s| is_live(s));
+            out.extend_from_slice(&index.overflow);
+            return;
         };
         if index.overflow.is_empty() {
-            out.extend_from_slice(bucket);
+            out.extend(bucket.iter().copied().filter(|&s| is_live(s)));
+            // Amortized reclamation: the filter above is read-only, so a
+            // bucket is rewritten only once dead handles clearly dominate
+            // it — every bucket stays O(live handles) without a write on
+            // each probe.
+            if bucket.len() > 2 * out.len() + 8 {
+                bucket.retain(|&s| is_live(s));
+            }
         } else {
+            bucket.retain(|&s| is_live(s));
+            index.overflow.retain(|&s| is_live(s));
             merge_ascending_into(bucket, &index.overflow, out);
         }
     }
@@ -594,7 +751,14 @@ impl OperatorState {
     /// (`purged_tuples` and `CostKind::StatePurge` are charged per removed
     /// tuple, not per purge call).
     pub fn next_expiry(&self) -> Option<Timestamp> {
-        self.expiry.peek().map(|&Reverse((ts, _))| ts)
+        self.expiry.peek().map(|(ts, _)| ts)
+    }
+
+    /// The state's content-mutation counter (see the field docs): while two
+    /// observations return the same generation, the stored contents are
+    /// identical and every probe handle remains valid.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Append all live handles in insertion order to `out` (the scan path).
@@ -630,13 +794,20 @@ impl OperatorState {
         if self.slots.len() <= 64 || self.slots.len() <= 2 * self.live_count {
             return;
         }
+        self.generation += 1;
         self.base += self.slots.len() as u64;
         let entries: Vec<StoredTuple> = self.slots.drain(..).flatten().collect();
-        self.expiry = entries
+        let mut pairs: Vec<(Timestamp, u64)> = entries
             .iter()
             .enumerate()
-            .map(|(idx, entry)| Reverse((entry.tuple.ts(), self.base + idx as u64)))
+            .map(|(idx, entry)| (entry.tuple.ts(), self.base + idx as u64))
             .collect();
+        // Slab order is only near-sorted when restores interleaved; the
+        // queue's invariant is full timestamp order.
+        pairs.sort_unstable();
+        self.expiry = ExpiryQueue {
+            entries: pairs.into(),
+        };
         for (spec, index) in self.indexes.iter_mut() {
             index.clear();
             for (idx, entry) in entries.iter().enumerate() {

@@ -20,6 +20,8 @@
 //! * [`ArrayImpl`], [`Batch`], [`Block`], [`BatchPolicy`] — the columnar
 //!   batch data plane: typed column arrays and the vectorized arrival
 //!   containers built from them (see the [`mod@array`] and [`batch`] docs).
+//! * [`BitMask`] and the [`kernel`] module — SIMD-friendly predicate and
+//!   probe-key kernels over the typed arrays.
 //!
 //! The crate is deliberately free of any execution logic so that the operator
 //! framework (`jit-exec`) and the JIT mechanism (`jit-core`) can evolve
@@ -33,6 +35,7 @@ pub mod batch;
 pub mod error;
 pub mod feedback;
 pub mod hash;
+pub mod kernel;
 pub mod predicate;
 pub mod schema;
 pub mod signature;
@@ -45,6 +48,7 @@ pub use batch::{Batch, BatchPolicy, Block, BlockBuilder};
 pub use error::TypeError;
 pub use feedback::{Feedback, FeedbackCommand};
 pub use hash::{FastBuildHasher, FastHasher, FastMap};
+pub use kernel::BitMask;
 pub use predicate::{CompareOp, EquiPredicate, FilterPredicate, PredicateSet};
 pub use schema::{Catalog, ColumnRef, SourceId, SourceSchema, SourceSet};
 pub use signature::Signature;

@@ -105,31 +105,89 @@ impl fmt::Display for TupleKey {
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Tuple {
     /// Components sorted by source id; each source appears at most once.
-    parts: Arc<[Arc<BaseTuple>]>,
+    parts: Parts,
     /// Cached set of covered sources.
     sources: SourceSet,
     /// Cached timestamp (max component timestamp; `Timestamp::ZERO` for Ø).
     ts: Timestamp,
 }
 
+/// Component storage for [`Tuple`].
+///
+/// The single-component case is the per-arrival hot path (every base tuple is
+/// wrapped before entering the plan), so it stores the `Arc<BaseTuple>`
+/// inline instead of behind an `Arc<[_]>` slice — one refcount bump instead
+/// of a heap allocation. The two representations compare, hash and serialize
+/// identically: everything goes through [`Parts::as_slice`].
+#[derive(Debug, Clone)]
+enum Parts {
+    Single(Arc<BaseTuple>),
+    Multi(Arc<[Arc<BaseTuple>]>),
+}
+
+impl Parts {
+    #[inline]
+    fn as_slice(&self) -> &[Arc<BaseTuple>] {
+        match self {
+            Parts::Single(p) => std::slice::from_ref(p),
+            Parts::Multi(ps) => ps,
+        }
+    }
+
+    fn from_vec(mut parts: Vec<Arc<BaseTuple>>) -> Self {
+        if parts.len() == 1 {
+            Parts::Single(parts.pop().expect("len checked"))
+        } else {
+            Parts::Multi(Arc::from(parts))
+        }
+    }
+}
+
+impl PartialEq for Parts {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Parts {}
+
+impl std::hash::Hash for Parts {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl Serialize for Parts {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Seq(self.as_slice().iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl Deserialize for Parts {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::Error> {
+        Vec::<Arc<BaseTuple>>::from_content(content).map(Parts::from_vec)
+    }
+}
+
 impl Tuple {
     /// The empty tuple Ø — sub-tuple of every tuple.
     pub fn empty() -> Self {
         Tuple {
-            parts: Arc::from(Vec::new()),
+            parts: Parts::Multi(Arc::from(Vec::new())),
             sources: SourceSet::EMPTY,
             ts: Timestamp::ZERO,
         }
     }
 
     /// Wrap a base tuple as a single-component composite tuple.
+    ///
+    /// This runs once per arrival and allocates nothing: the component is
+    /// stored inline in the single-part variant of the internal parts enum.
     pub fn from_base(base: Arc<BaseTuple>) -> Self {
         let sources = SourceSet::single(base.source);
         let ts = base.ts;
         Tuple {
-            // `Arc::from([_; 1])` builds the slice in one allocation; this
-            // runs once per arrival, so the Vec round-trip is worth avoiding.
-            parts: Arc::from([base]),
+            parts: Parts::Single(base),
             sources,
             ts,
         }
@@ -150,10 +208,29 @@ impl Tuple {
             ts = ts.max(p.ts);
         }
         Ok(Tuple {
-            parts: Arc::from(parts),
+            parts: Parts::from_vec(parts),
             sources,
             ts,
         })
+    }
+
+    /// Build a composite tuple from components already sorted by source id
+    /// with no duplicates — the columnar result-assembly fast path, which
+    /// skips [`Tuple::from_parts`]'s sort and duplicate check (the invariant
+    /// is still verified under debug assertions).
+    pub fn from_sorted_parts(parts: Vec<Arc<BaseTuple>>) -> Self {
+        debug_assert!(parts.windows(2).all(|w| w[0].source < w[1].source));
+        let mut sources = SourceSet::EMPTY;
+        let mut ts = Timestamp::ZERO;
+        for p in &parts {
+            sources.insert(p.source);
+            ts = ts.max(p.ts);
+        }
+        Tuple {
+            parts: Parts::from_vec(parts),
+            sources,
+            ts,
+        }
     }
 
     /// Join two tuples covering disjoint source sets.
@@ -168,12 +245,12 @@ impl Tuple {
             });
         }
         let mut parts: Vec<Arc<BaseTuple>> =
-            Vec::with_capacity(self.parts.len() + other.parts.len());
-        parts.extend(self.parts.iter().cloned());
-        parts.extend(other.parts.iter().cloned());
+            Vec::with_capacity(self.num_parts() + other.num_parts());
+        parts.extend(self.parts().iter().cloned());
+        parts.extend(other.parts().iter().cloned());
         parts.sort_by_key(|p| p.source);
         Ok(Tuple {
-            parts: Arc::from(parts),
+            parts: Parts::Multi(Arc::from(parts)),
             sources: self.sources.union(other.sources),
             ts: self.ts.max(other.ts),
         })
@@ -195,7 +272,7 @@ impl Tuple {
     /// result are pairwise within the window, hence
     /// `ts() − min_ts() ≤ w` must hold.
     pub fn min_ts(&self) -> Timestamp {
-        self.parts
+        self.parts()
             .iter()
             .map(|p| p.ts)
             .min()
@@ -204,22 +281,22 @@ impl Tuple {
 
     /// Is this the empty tuple Ø?
     pub fn is_empty(&self) -> bool {
-        self.parts.is_empty()
+        self.parts().is_empty()
     }
 
     /// Number of components.
     pub fn num_parts(&self) -> usize {
-        self.parts.len()
+        self.parts().len()
     }
 
     /// The components, sorted by source id.
     pub fn parts(&self) -> &[Arc<BaseTuple>] {
-        &self.parts
+        self.parts.as_slice()
     }
 
     /// The component contributed by `source`, if any.
     pub fn part(&self, source: SourceId) -> Option<&Arc<BaseTuple>> {
-        self.parts.iter().find(|p| p.source == source)
+        self.parts().iter().find(|p| p.source == source)
     }
 
     /// Value of the referenced column, if this tuple covers the source.
@@ -233,7 +310,7 @@ impl Tuple {
     /// `self.sources() ∩ keep`.
     pub fn project(&self, keep: SourceSet) -> Tuple {
         let parts: Vec<Arc<BaseTuple>> = self
-            .parts
+            .parts()
             .iter()
             .filter(|p| keep.contains(p.source))
             .cloned()
@@ -245,7 +322,7 @@ impl Tuple {
             ts = ts.max(p.ts);
         }
         Tuple {
-            parts: Arc::from(parts),
+            parts: Parts::from_vec(parts),
             sources,
             ts,
         }
@@ -259,7 +336,7 @@ impl Tuple {
         if !self.sources.is_subset(other.sources) {
             return false;
         }
-        self.parts.iter().all(|p| {
+        self.parts().iter().all(|p| {
             other
                 .part(p.source)
                 .map(|q| q.seq == p.seq)
@@ -274,7 +351,7 @@ impl Tuple {
 
     /// The identity key of the tuple (sorted `(source, seq)` pairs).
     pub fn key(&self) -> TupleKey {
-        TupleKey(self.parts.iter().map(|p| (p.source.0, p.seq)).collect())
+        TupleKey(self.parts().iter().map(|p| (p.source.0, p.seq)).collect())
     }
 
     /// Approximate footprint in bytes.
@@ -284,7 +361,7 @@ impl Tuple {
     /// full payload (that is exactly the memory REF wastes on NPRs), so we
     /// deliberately count component payloads rather than pointer sizes.
     pub fn size_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.parts.iter().map(|p| p.size_bytes()).sum::<usize>()
+        std::mem::size_of::<Self>() + self.parts().iter().map(|p| p.size_bytes()).sum::<usize>()
     }
 }
 
@@ -294,7 +371,7 @@ impl fmt::Display for Tuple {
             return write!(f, "Ø");
         }
         write!(f, "⟨")?;
-        for (i, p) in self.parts.iter().enumerate() {
+        for (i, p) in self.parts().iter().enumerate() {
             if i > 0 {
                 write!(f, " ")?;
             }

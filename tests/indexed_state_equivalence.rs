@@ -334,6 +334,131 @@ fn batch_plane_is_observably_equivalent_on_4_shards() {
     }
 }
 
+/// Push a fixed arrival script through a CQL query at one batch policy.
+/// Sequence numbers are assigned per source in push order.
+fn run_cql_pushes(
+    cql: &str,
+    mode: ExecutionMode,
+    batch: BatchPolicy,
+    pushes: &[(u16, u64, Vec<Value>)],
+) -> EngineOutcome {
+    let engine = Engine::builder()
+        .query_cql(cql)
+        .mode(mode)
+        .batch_policy(batch)
+        .build()
+        .expect("CQL engine builds");
+    let mut session = engine.session().expect("session opens");
+    let mut seqs = std::collections::HashMap::new();
+    for (source, ts_ms, values) in pushes {
+        let seq = seqs.entry(*source).or_insert(0u64);
+        let tuple = std::sync::Arc::new(BaseTuple::new(
+            SourceId(*source),
+            *seq,
+            Timestamp::from_millis(*ts_ms),
+            values.clone(),
+        ));
+        *seq += 1;
+        let _ = session
+            .push(SourceId(*source), tuple)
+            .expect("push accepted");
+    }
+    session.finish().expect("run finishes")
+}
+
+/// The batch plane must stay invisible when columns are strings or widen
+/// mid-batch: source A's key column is pure `Utf8`, source B's mixes `Int`
+/// and `Str` rows so its columnar projection widens to the general `Values`
+/// representation. The typed, widened and row-fallback kernel paths must
+/// all agree with tuple-at-a-time execution.
+#[test]
+fn batch_plane_handles_utf8_and_widened_columns() {
+    let cql = "SELECT * FROM A [RANGE 5 minutes], B [RANGE 5 minutes] WHERE A.x = B.x";
+    let mut pushes: Vec<(u16, u64, Vec<Value>)> = Vec::new();
+    for i in 0..30u64 {
+        pushes.push((0, i * 500, vec![Value::str(format!("k{}", i % 5))]));
+        let b_key = if i % 3 == 0 {
+            // An Int row in an otherwise-Str column widens B's projection.
+            Value::int((i % 5) as i64)
+        } else {
+            Value::str(format!("k{}", i % 5))
+        };
+        pushes.push((1, i * 500 + 10, vec![b_key]));
+    }
+    for mode in [ExecutionMode::Ref, ExecutionMode::Jit(JitPolicy::full())] {
+        let tuple = run_cql_pushes(cql, mode, BatchPolicy::default(), &pushes);
+        assert!(
+            tuple.results_count > 0,
+            "string keys must join (str = str only)"
+        );
+        for policy in batch_policies() {
+            let batched = run_cql_pushes(cql, mode, policy, &pushes);
+            let label = format!("{} utf8/widened batch={policy:?}", mode.label());
+            assert_batch_equivalent(&tuple, &batched, &label);
+        }
+    }
+}
+
+/// CQL constant filters on the batch axis: the vectorized selection mask
+/// must pass exactly the rows the per-tuple predicate passes — including
+/// the all-rows-masked extreme, where every block drops entirely.
+#[test]
+fn batch_plane_applies_cql_constant_filters() {
+    let pushes: Vec<(u16, u64, Vec<Value>)> = (1..=10i64)
+        .flat_map(|v| {
+            [
+                (0u16, v as u64 * 1_000, vec![Value::int(v)]),
+                (1u16, v as u64 * 1_000 + 10, vec![Value::int(v)]),
+            ]
+        })
+        .collect();
+    let filtered = "SELECT * FROM A [RANGE 5 minutes], B [RANGE 5 minutes] \
+                    WHERE A.x = B.x AND A.x > 5";
+    let nothing_passes = "SELECT * FROM A [RANGE 5 minutes], B [RANGE 5 minutes] \
+                          WHERE A.x = B.x AND A.x > 1000";
+    for mode in [ExecutionMode::Ref, ExecutionMode::Jit(JitPolicy::full())] {
+        let tuple = run_cql_pushes(filtered, mode, BatchPolicy::default(), &pushes);
+        assert_eq!(tuple.results_count, 5, "{}: v in 6..=10", mode.label());
+        for policy in batch_policies() {
+            let batched = run_cql_pushes(filtered, mode, policy, &pushes);
+            let label = format!("{} filtered batch={policy:?}", mode.label());
+            assert_batch_equivalent(&tuple, &batched, &label);
+        }
+        // All rows masked: the selection rejects every arrival, so whole
+        // blocks drop without a single per-row dispatch.
+        let tuple = run_cql_pushes(nothing_passes, mode, BatchPolicy::default(), &pushes);
+        assert_eq!(tuple.results_count, 0);
+        for policy in batch_policies() {
+            let batched = run_cql_pushes(nothing_passes, mode, policy, &pushes);
+            let label = format!("{} all-masked batch={policy:?}", mode.label());
+            assert_batch_equivalent(&tuple, &batched, &label);
+        }
+    }
+}
+
+/// Degenerate blocks: an empty stream (end-of-stream flush with nothing
+/// buffered) and a single-row frontier (one arrival flushed alone) must run
+/// the batch plane without tripping any kernel edge case.
+#[test]
+fn batch_plane_handles_degenerate_blocks() {
+    let cql = "SELECT * FROM A [RANGE 5 minutes], B [RANGE 5 minutes] WHERE A.x = B.x";
+    for mode in [ExecutionMode::Ref, ExecutionMode::Jit(JitPolicy::full())] {
+        for policy in batch_policies() {
+            // Empty stream: nothing arrives, nothing results.
+            let empty = run_cql_pushes(cql, mode, policy, &[]);
+            assert_eq!(empty.results_count, 0);
+            assert_eq!(empty.snapshot.stats.tuples_arrived, 0);
+
+            // Single-row frontier: one arrival, flushed by finish.
+            let single_pushes = vec![(0u16, 1_000u64, vec![Value::int(7)])];
+            let tuple = run_cql_pushes(cql, mode, BatchPolicy::default(), &single_pushes);
+            let single = run_cql_pushes(cql, mode, policy, &single_pushes);
+            let label = format!("{} single-row batch={policy:?}", mode.label());
+            assert_batch_equivalent(&tuple, &single, &label);
+        }
+    }
+}
+
 /// JIT feedback behaviour (suppression, blacklisting, resumption) must be
 /// bit-for-bit identical between the two probe paths — the index only
 /// changes how candidates are found, never which MNSs are detected.
