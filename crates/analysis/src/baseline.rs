@@ -1,0 +1,316 @@
+//! The committed allowlist baseline (`crates/analysis/baseline.toml`).
+//!
+//! Pre-existing accepted findings of *baseline-severity* rules are pinned
+//! here so `check` stays green on them while any **new** violation fails
+//! CI. Entries are content-addressed by `(rule, file, fingerprint)` — the
+//! fingerprint is the trimmed source line — so they survive unrelated line
+//! drift but die with the code they describe (a stale entry is itself an
+//! error, keeping the baseline tight).
+//!
+//! The format is a strict, hand-parsed TOML subset (this crate is
+//! dependency-free): `[[entry]]` tables with `key = "value"` string pairs.
+
+use crate::diag::Diagnostic;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One pinned finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub rule: String,
+    pub file: String,
+    /// Trimmed text of the offending line.
+    pub fingerprint: String,
+    /// How many matching findings this entry covers (several identical
+    /// lines in one file collapse into one entry).
+    pub count: usize,
+    /// Why the site is accepted. `--fix-baseline` writes a placeholder;
+    /// review is expected to replace it with a real justification.
+    pub justification: String,
+}
+
+/// Parse `baseline.toml` text.
+pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
+    let mut entries = Vec::new();
+    let mut cur: Option<Entry> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[entry]]" {
+            if let Some(e) = cur.take() {
+                entries.push(finish(e, idx)?);
+            }
+            cur = Some(Entry {
+                rule: String::new(),
+                file: String::new(),
+                fingerprint: String::new(),
+                count: 1,
+                justification: String::new(),
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "baseline.toml line {}: expected `key = value`",
+                idx + 1
+            ));
+        };
+        let entry = cur
+            .as_mut()
+            .ok_or_else(|| format!("baseline.toml line {}: key outside [[entry]]", idx + 1))?;
+        let key = key.trim();
+        let value = value.trim();
+        match key {
+            "count" => {
+                entry.count = value
+                    .parse()
+                    .map_err(|_| format!("baseline.toml line {}: bad count", idx + 1))?;
+            }
+            _ => {
+                let value = unquote(value).ok_or_else(|| {
+                    format!("baseline.toml line {}: expected quoted string", idx + 1)
+                })?;
+                match key {
+                    "rule" => entry.rule = value,
+                    "file" => entry.file = value,
+                    "fingerprint" => entry.fingerprint = value,
+                    "justification" => entry.justification = value,
+                    other => {
+                        return Err(format!(
+                            "baseline.toml line {}: unknown key `{other}`",
+                            idx + 1
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    if let Some(e) = cur.take() {
+        entries.push(finish(e, 0)?);
+    }
+    Ok(entries)
+}
+
+fn finish(e: Entry, line_hint: usize) -> Result<Entry, String> {
+    if e.rule.is_empty() || e.file.is_empty() || e.fingerprint.is_empty() {
+        return Err(format!(
+            "baseline.toml (near line {}): entry missing rule/file/fingerprint",
+            line_hint + 1
+        ));
+    }
+    if e.justification.trim().is_empty() {
+        return Err(format!(
+            "baseline.toml: entry for {}:{} has no justification — every pinned \
+             site must say why it is accepted",
+            e.file, e.rule
+        ));
+    }
+    Ok(e)
+}
+
+fn unquote(v: &str) -> Option<String> {
+    let v = v.strip_prefix('"')?.strip_suffix('"')?;
+    // Reverse the escaping in `quote`.
+    Some(v.replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+fn quote(v: &str) -> String {
+    format!("\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+/// Serialise entries, stable-sorted, with a header explaining the contract.
+pub fn render(entries: &[Entry]) -> String {
+    let mut sorted: Vec<&Entry> = entries.iter().collect();
+    sorted.sort_by(|a, b| {
+        (&a.rule, &a.file, &a.fingerprint).cmp(&(&b.rule, &b.file, &b.fingerprint))
+    });
+    let mut out = String::from(
+        "# jit-analysis baseline — pre-existing accepted findings, pinned.\n\
+         # New violations are NOT covered: only (rule, file, fingerprint)\n\
+         # triples listed here pass `check`. Regenerate with\n\
+         # `cargo run -p jit-analysis -- check --fix-baseline`, then edit the\n\
+         # justification of any new entry (placeholders are fine for the tool\n\
+         # but not for review). Deny-severity rules can never be pinned here.\n",
+    );
+    for e in sorted {
+        let _ = write!(
+            out,
+            "\n[[entry]]\nrule = {}\nfile = {}\nfingerprint = {}\ncount = {}\njustification = {}\n",
+            quote(&e.rule),
+            quote(&e.file),
+            quote(&e.fingerprint),
+            e.count,
+            quote(&e.justification),
+        );
+    }
+    out
+}
+
+/// The result of matching findings against a baseline.
+pub struct MatchOutcome {
+    /// Findings not covered by the baseline — these fail the check.
+    pub uncovered: Vec<Diagnostic>,
+    /// Findings absorbed by a baseline entry.
+    pub covered: usize,
+    /// Entries (rule, file, fingerprint) that matched nothing or fewer
+    /// findings than their count — stale, must be pruned.
+    pub stale: Vec<String>,
+}
+
+/// Match baseline-severity findings against the committed entries.
+pub fn apply(entries: &[Entry], findings: Vec<Diagnostic>) -> MatchOutcome {
+    let mut budget: HashMap<(String, String, String), usize> = HashMap::new();
+    for e in entries {
+        *budget
+            .entry((e.rule.clone(), e.file.clone(), e.fingerprint.clone()))
+            .or_insert(0) += e.count;
+    }
+    let mut uncovered = Vec::new();
+    let mut covered = 0usize;
+    for d in findings {
+        let key = (d.rule.to_string(), d.file.clone(), d.fingerprint.clone());
+        match budget.get_mut(&key) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                covered += 1;
+            }
+            _ => uncovered.push(d),
+        }
+    }
+    let stale = budget
+        .into_iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|((rule, file, fp), n)| format!("{file}: [{rule}] `{fp}` (unused x{n})"))
+        .collect();
+    MatchOutcome {
+        uncovered,
+        covered,
+        stale,
+    }
+}
+
+/// Build a fresh baseline from current findings (the `--fix-baseline`
+/// path), carrying forward justifications from `previous` where the triple
+/// still matches.
+pub fn from_findings(findings: &[Diagnostic], previous: &[Entry]) -> Vec<Entry> {
+    let mut counts: HashMap<(String, String, String), usize> = HashMap::new();
+    for d in findings {
+        *counts
+            .entry((d.rule.to_string(), d.file.clone(), d.fingerprint.clone()))
+            .or_insert(0) += 1;
+    }
+    let mut out: Vec<Entry> = counts
+        .into_iter()
+        .map(|((rule, file, fingerprint), count)| {
+            let justification = previous
+                .iter()
+                .find(|e| e.rule == rule && e.file == file && e.fingerprint == fingerprint)
+                .map(|e| e.justification.clone())
+                .unwrap_or_else(|| {
+                    "pinned by --fix-baseline (replace with a real justification in review)"
+                        .to_string()
+                });
+            Entry {
+                rule,
+                file,
+                fingerprint,
+                count,
+                justification,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| (&a.rule, &a.file, &a.fingerprint).cmp(&(&b.rule, &b.file, &b.fingerprint)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn diag(rule: &'static str, file: &str, fp: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: Severity::Baseline,
+            file: file.into(),
+            line: 1,
+            message: "m".into(),
+            fingerprint: fp.into(),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let entries = vec![Entry {
+            rule: "default-hasher".into(),
+            file: "crates/types/src/hash.rs".into(),
+            fingerprint: "use std::collections::HashMap;".into(),
+            count: 2,
+            justification: "definition site of FastMap".into(),
+        }];
+        let text = render(&entries);
+        let back = parse(&text).expect("parses");
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn quoting_survives_quotes_and_backslashes() {
+        let entries = vec![Entry {
+            rule: "r".into(),
+            file: "f".into(),
+            fingerprint: r#"let s = "a\\b";"#.into(),
+            count: 1,
+            justification: "j".into(),
+        }];
+        let back = parse(&render(&entries)).expect("parses");
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn missing_justification_rejected() {
+        let text = "[[entry]]\nrule = \"r\"\nfile = \"f\"\nfingerprint = \"x\"\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn apply_covers_counts_and_flags_stale() {
+        let entries = vec![Entry {
+            rule: "lock-order".into(),
+            file: "a.rs".into(),
+            fingerprint: "mpsc::channel()".into(),
+            count: 2,
+            justification: "j".into(),
+        }];
+        // One finding -> covered, but one budget slot unused -> stale.
+        let out = apply(
+            &entries,
+            vec![diag("lock-order", "a.rs", "mpsc::channel()")],
+        );
+        assert_eq!(out.covered, 1);
+        assert!(out.uncovered.is_empty());
+        assert_eq!(out.stale.len(), 1);
+
+        // A finding with no entry is uncovered.
+        let out = apply(
+            &entries,
+            vec![diag("lock-order", "b.rs", "mpsc::channel()")],
+        );
+        assert_eq!(out.uncovered.len(), 1);
+    }
+
+    #[test]
+    fn fix_baseline_preserves_justifications() {
+        let prev = vec![Entry {
+            rule: "lock-order".into(),
+            file: "a.rs".into(),
+            fingerprint: "mpsc::channel()".into(),
+            count: 1,
+            justification: "result path must be unbounded".into(),
+        }];
+        let fresh = from_findings(&[diag("lock-order", "a.rs", "mpsc::channel()")], &prev);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].justification, "result path must be unbounded");
+    }
+}

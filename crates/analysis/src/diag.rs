@@ -1,0 +1,52 @@
+//! Diagnostics and severities.
+
+use std::fmt;
+
+/// How a rule's findings are enforced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Violations always fail the check. No waivers, no baseline entries —
+    /// the only way out is to fix the code (or, for rules with a sanctioned
+    /// in-code annotation such as `// INVARIANT:` / `// SAFETY:`, to
+    /// justify the site through that annotation, which the rule itself
+    /// recognises before a diagnostic is ever emitted).
+    Deny,
+    /// Violations fail the check unless covered by an inline waiver
+    /// (`// jit-analysis: allow(rule): why`) or a committed baseline entry.
+    Baseline,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Deny => write!(f, "deny"),
+            Severity::Baseline => write!(f, "baseline"),
+        }
+    }
+}
+
+/// One finding, addressed by (rule, file, fingerprint) so baseline entries
+/// survive unrelated line drift.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable rule id (e.g. `default-hasher`).
+    pub rule: &'static str,
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+    /// Trimmed source-line text — the baseline matching key.
+    pub fingerprint: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}/{}] {}",
+            self.file, self.line, self.rule, self.severity, self.message
+        )
+    }
+}

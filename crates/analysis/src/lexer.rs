@@ -1,0 +1,437 @@
+//! A hand-rolled Rust lexer sufficient for lint-level scanning.
+//!
+//! This is not a full Rust tokenizer: it produces identifiers, punctuation,
+//! and literals with line numbers, and collects comments separately as
+//! trivia (rules inspect trivia for `// SAFETY:`, `// INVARIANT:` and
+//! waiver annotations). It handles everything that would otherwise corrupt
+//! a token stream — nested block comments, raw strings (`r#"…"#`), byte and
+//! char literals, and the lifetime-vs-char ambiguity (`'a` vs `'a'`) — so
+//! downstream scanners never see a keyword that was really inside a string.
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the scanner distinguishes by text).
+    Ident,
+    /// A lifetime such as `'a` (including the quote-less label text).
+    Lifetime,
+    /// String / raw-string / byte-string / char / numeric literal.
+    Literal,
+    /// A single punctuation character (`{`, `(`, `+`, `=`, …).
+    Punct(char),
+}
+
+/// One non-trivia token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Token text (for `Punct` this is the single character).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when the token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// A comment (line or block), kept out of the token stream.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// Lexer output: the token stream plus comment trivia.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize `src`. Unterminated constructs are tolerated (the remainder of
+/// the file is consumed) — a lint pass must never panic on weird input.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                'r' | 'b' if self.raw_or_byte_prefix() => self.prefixed_literal(),
+                '\'' => self.char_or_lifetime(),
+                c if c.is_alphabetic() || c == '_' => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => {
+                    let line = self.line;
+                    let c = self.bump().unwrap_or(' ');
+                    self.out.tokens.push(Token {
+                        kind: TokenKind::Punct(c),
+                        text: c.to_string(),
+                        line,
+                    });
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { text, line });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth = depth.saturating_sub(1);
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { text, line });
+    }
+
+    /// Does the `r` / `b` at the cursor start a raw/byte literal (vs an
+    /// ordinary identifier such as `rows`)?
+    fn raw_or_byte_prefix(&self) -> bool {
+        match (self.peek(0), self.peek(1), self.peek(2)) {
+            (Some('r'), Some('"' | '#'), _) => self.raw_hashes_then_quote(1),
+            (Some('b'), Some('"'), _) => true,
+            (Some('b'), Some('\''), _) => true,
+            (Some('b'), Some('r'), Some('"' | '#')) => self.raw_hashes_then_quote(2),
+            _ => false,
+        }
+    }
+
+    /// From offset `from`, is the char run `#* "`? (`r` / `br` raw strings —
+    /// distinguishes `r#"…"` from the raw identifier `r#keyword`.)
+    fn raw_hashes_then_quote(&self, from: usize) -> bool {
+        let mut i = from;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn prefixed_literal(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        // Consume the r / b / br prefix.
+        while matches!(self.peek(0), Some('r' | 'b')) && text.len() < 2 {
+            text.push(self.bump().unwrap_or(' '));
+        }
+        if self.peek(0) == Some('\'') {
+            // b'x'
+            self.consume_char_literal(&mut text);
+        } else {
+            // Count leading hashes for raw strings.
+            let mut hashes = 0usize;
+            while self.peek(0) == Some('#') {
+                hashes += 1;
+                text.push(self.bump().unwrap_or(' '));
+            }
+            let raw = text.starts_with('r') || text.starts_with("br") || hashes > 0;
+            self.consume_string_body(&mut text, hashes, raw);
+        }
+        self.out.tokens.push(Token {
+            kind: TokenKind::Literal,
+            text,
+            line,
+        });
+    }
+
+    fn string_literal(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        self.consume_string_body(&mut text, 0, false);
+        self.out.tokens.push(Token {
+            kind: TokenKind::Literal,
+            text,
+            line,
+        });
+    }
+
+    /// Consume `"…"` (plus `hashes` trailing `#`s for raw strings); `raw`
+    /// disables backslash escapes.
+    fn consume_string_body(&mut self, text: &mut String, hashes: usize, raw: bool) {
+        if self.peek(0) == Some('"') {
+            text.push(self.bump().unwrap_or(' '));
+        }
+        while let Some(c) = self.peek(0) {
+            if !raw && c == '\\' {
+                text.push(self.bump().unwrap_or(' '));
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
+                continue;
+            }
+            if c == '"' {
+                // Check closing hashes.
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.peek(1 + i) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    text.push(self.bump().unwrap_or(' '));
+                    for _ in 0..hashes {
+                        text.push(self.bump().unwrap_or(' '));
+                    }
+                    return;
+                }
+            }
+            text.push(c);
+            self.bump();
+        }
+    }
+
+    /// `'a` (lifetime) vs `'a'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // Lifetime: quote, ident-start, then NOT a closing quote right after
+        // the label run.
+        let is_lifetime = match self.peek(1) {
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                let mut i = 2;
+                while matches!(self.peek(i), Some(c) if c.is_alphanumeric() || c == '_') {
+                    i += 1;
+                }
+                self.peek(i) != Some('\'')
+            }
+            _ => false,
+        };
+        if is_lifetime {
+            let mut text = String::new();
+            text.push(self.bump().unwrap_or(' ')); // '
+            while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+                text.push(self.bump().unwrap_or(' '));
+            }
+            self.out.tokens.push(Token {
+                kind: TokenKind::Lifetime,
+                text,
+                line,
+            });
+        } else {
+            let mut text = String::new();
+            self.consume_char_literal(&mut text);
+            self.out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                text,
+                line,
+            });
+        }
+    }
+
+    fn consume_char_literal(&mut self, text: &mut String) {
+        text.push(self.bump().unwrap_or(' ')); // opening '
+        match self.peek(0) {
+            Some('\\') => {
+                text.push(self.bump().unwrap_or(' '));
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
+                // \u{…} escapes.
+                while matches!(self.peek(0), Some(c) if c != '\'') {
+                    text.push(self.bump().unwrap_or(' '));
+                }
+            }
+            Some(_) => {
+                text.push(self.bump().unwrap_or(' '));
+            }
+            None => return,
+        }
+        if self.peek(0) == Some('\'') {
+            text.push(self.bump().unwrap_or(' '));
+        }
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+            text.push(self.bump().unwrap_or(' '));
+        }
+        self.out.tokens.push(Token {
+            kind: TokenKind::Ident,
+            text,
+            line,
+        });
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        // Good enough for scanning: digits, underscores, hex/oct/bin tags,
+        // exponents, type suffixes and a fractional part all fold into one
+        // literal token. `1..n` range dots are left as punctuation.
+        while let Some(c) = self.peek(0) {
+            let take = c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.'
+                    && self.peek(1) != Some('.')
+                    && matches!(self.peek(1), Some(d) if d.is_ascii_digit()));
+            if !take {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.tokens.push(Token {
+            kind: TokenKind::Literal,
+            text,
+            line,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_keywords() {
+        let l = lex(r##"let s = "unsafe { HashMap }"; let t = r#"panic!"# ;"##);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unsafe")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("HashMap")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("panic")));
+    }
+
+    #[test]
+    fn comments_are_trivia() {
+        let l = lex("// HashMap here\nlet x = 1; /* unsafe */\n");
+        assert!(!l.tokens.iter().any(|t| t.is_ident("HashMap")));
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert!(l.comments[1].text.contains("unsafe"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(idents("/* a /* b */ c */ fn f() {}"), vec!["fn", "f"]);
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "'x'"));
+    }
+
+    #[test]
+    fn char_escapes() {
+        let l = lex(r"let c = '\n'; let q = '\''; let u = '\u{1F600}';");
+        let lits: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .collect();
+        assert_eq!(lits.len(), 3);
+    }
+
+    #[test]
+    fn line_numbers() {
+        let l = lex("a\nb\n  c");
+        let lines: Vec<u32> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn numbers_fold() {
+        let l = lex("1_000.5e3 0xFFu64 1..4");
+        let lits: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lits, vec!["1_000.5e3", "0xFFu64", "1", "4"]);
+    }
+}

@@ -1,0 +1,64 @@
+//! `default-hasher`: ban `std::collections::HashMap` / `HashSet` in
+//! data-plane modules.
+//!
+//! SipHash costs tens of nanoseconds per small key; data-plane maps are
+//! probed once per arriving tuple, so PR 8 migrated them to the
+//! multiplicative `FastMap` / `FastSet` (`jit_types::hash`). This rule
+//! keeps the migration from silently regressing: any default-hasher ident
+//! in `exec` / `core` / `types` / `runtime` / `serve` non-test code must be
+//! converted, waived inline, or pinned in the baseline (the `FastMap`
+//! definition site itself is the canonical pin).
+
+use super::{diag, Rule};
+use crate::config::{under, DATA_PLANE_PREFIXES};
+use crate::diag::{Diagnostic, Severity};
+use crate::source::SourceFile;
+
+pub struct DefaultHasher;
+
+impl Rule for DefaultHasher {
+    fn id(&self) -> &'static str {
+        "default-hasher"
+    }
+
+    fn describe(&self) -> &'static str {
+        "std HashMap/HashSet banned in data-plane modules; use FastMap/FastSet"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Baseline
+    }
+
+    fn check_file(&mut self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !under(&file.rel_path, DATA_PLANE_PREFIXES) {
+            return;
+        }
+        for (i, t) in file.tokens.iter().enumerate() {
+            if file.scopes[i].in_test {
+                continue;
+            }
+            let which = if t.is_ident("HashMap") {
+                "HashMap"
+            } else if t.is_ident("HashSet") {
+                "HashSet"
+            } else {
+                continue;
+            };
+            let fast = if which == "HashMap" {
+                "FastMap"
+            } else {
+                "FastSet"
+            };
+            out.push(diag(
+                self.id(),
+                self.severity(),
+                file,
+                t.line,
+                format!(
+                    "`{which}` uses the default SipHash hasher in a data-plane module; \
+                     use `jit_types::{fast}` (trusted keys) or justify the site"
+                ),
+            ));
+        }
+    }
+}

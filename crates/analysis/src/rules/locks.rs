@@ -1,0 +1,109 @@
+//! `lock-order`: guard the sharded backend against the PR 1 deadlock class.
+//!
+//! Two lexical heuristics over `runtime` / `exec` / `serve`:
+//!
+//! * **Nested `Mutex` acquisition** — a `.lock(…)` while an earlier
+//!   `.lock(…)`'s guard may still be live in the same function (the
+//!   earlier call's enclosing block has not closed). Cross-thread
+//!   lock-order inversions need exactly two such sites; sequential
+//!   same-block guards count because liveness is not tracked (drop the
+//!   first guard in a scope, or waive with the acquisition order spelled
+//!   out).
+//! * **Unbounded channels** — `mpsc::channel()` has no backpressure; a
+//!   slow consumer turns it into an unbounded queue and the PR 1 deadlock
+//!   fix relied on *bounded* shard channels. Use `sync_channel(cap)`, or
+//!   pin the site with a justification for why unboundedness is load-safe
+//!   (e.g. a result path whose bounding would re-create the deadlock).
+
+use super::{diag, Rule};
+use crate::config::{under, LOCK_SCOPE_PREFIXES};
+use crate::diag::{Diagnostic, Severity};
+use crate::source::SourceFile;
+
+pub struct LockOrder;
+
+impl Rule for LockOrder {
+    fn id(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn describe(&self) -> &'static str {
+        "flag nested Mutex acquisitions and unbounded mpsc::channel in the sharded backend"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Baseline
+    }
+
+    fn check_file(&mut self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !under(&file.rel_path, LOCK_SCOPE_PREFIXES) {
+            return;
+        }
+        let toks = &file.tokens;
+        // Open lock acquisitions in the current fn: brace depth at the call.
+        let mut open_locks: Vec<usize> = Vec::new();
+        let mut cur_fn: Option<String> = None;
+        let mut depth = 0usize;
+
+        for (i, t) in toks.iter().enumerate() {
+            if file.scopes[i].in_test {
+                continue;
+            }
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                open_locks.retain(|&d| d <= depth);
+            }
+            if file.scopes[i].fn_name != cur_fn {
+                cur_fn = file.scopes[i].fn_name.clone();
+                open_locks.clear();
+            }
+
+            // `mpsc::channel(` — `sync_channel` is a different ident and
+            // passes.
+            if t.is_ident("mpsc")
+                && toks.get(i + 1).map(|p| p.is_punct(':')).unwrap_or(false)
+                && toks.get(i + 2).map(|p| p.is_punct(':')).unwrap_or(false)
+                && toks
+                    .get(i + 3)
+                    .map(|n| n.is_ident("channel"))
+                    .unwrap_or(false)
+            {
+                out.push(diag(
+                    self.id(),
+                    self.severity(),
+                    file,
+                    t.line,
+                    "unbounded `mpsc::channel()` in the sharded backend: use \
+                     `sync_channel(cap)` for backpressure, or justify why this path \
+                     must be unbounded"
+                        .to_string(),
+                ));
+            }
+
+            // `.lock(` while another lock in this fn may still be held.
+            if i > 0
+                && toks[i - 1].is_punct('.')
+                && t.is_ident("lock")
+                && toks.get(i + 1).map(|p| p.is_punct('(')).unwrap_or(false)
+            {
+                if !open_locks.is_empty() {
+                    out.push(diag(
+                        self.id(),
+                        self.severity(),
+                        file,
+                        t.line,
+                        format!(
+                            "nested Mutex acquisition in `{}`: an earlier `.lock()` guard \
+                             may still be live — establish a single lock order or scope \
+                             the first guard out",
+                            cur_fn.as_deref().unwrap_or("?")
+                        ),
+                    ));
+                }
+                open_locks.push(depth);
+            }
+        }
+    }
+}

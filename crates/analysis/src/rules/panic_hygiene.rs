@@ -1,0 +1,81 @@
+//! `panic-hygiene`: no `unwrap` / `expect` / `panic!` / `todo!` /
+//! `unimplemented!` / `dbg!` in library code.
+//!
+//! Library code feeds long-running serving sessions; an unexpected panic
+//! tears down a shard worker and loses in-flight windows. Sites whose
+//! infallibility is a *proven local invariant* may stay, but must carry a
+//! `// INVARIANT:` comment (same line or up to two lines above) stating
+//! why the failure arm is unreachable — that annotation is part of the
+//! rule, not a waiver, so the rule stays deny-severity with zero waivers.
+//! `todo!`, `unimplemented!` and `dbg!` are never sanctioned.
+
+use super::{diag, Rule};
+use crate::config::is_library_code;
+use crate::diag::{Diagnostic, Severity};
+use crate::source::SourceFile;
+
+pub struct PanicHygiene;
+
+/// How far above a site the `// INVARIANT:` annotation may sit.
+const LOOKBACK_LINES: u32 = 2;
+
+impl Rule for PanicHygiene {
+    fn id(&self) -> &'static str {
+        "panic-hygiene"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no unwrap/expect/panic!/todo!/dbg! in library code outside tests and INVARIANT sites"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check_file(&mut self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !is_library_code(&file.rel_path) {
+            return;
+        }
+        let toks = &file.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if file.scopes[i].in_test {
+                continue;
+            }
+            let next_is = |c: char| toks.get(i + 1).map(|n| n.is_punct(c)).unwrap_or(false);
+            let prev_is_dot = i > 0 && toks[i - 1].is_punct('.');
+
+            // Method calls: `.unwrap()` / `.expect(…)` — exact names only
+            // (`unwrap_or_else` etc. are fine).
+            let (what, annotatable) =
+                if prev_is_dot && (t.is_ident("unwrap") || t.is_ident("expect")) && next_is('(') {
+                    (format!(".{}(…)", t.text), true)
+                } else if (t.is_ident("panic") || t.is_ident("unreachable")) && next_is('!') {
+                    // `unreachable!` is in the same class as `panic!`: a proven
+                    // dead arm is an INVARIANT, an unproven one is a bug.
+                    (format!("{}!", t.text), true)
+                } else if (t.is_ident("todo") || t.is_ident("unimplemented")) && next_is('!') {
+                    (format!("{}!", t.text), false)
+                } else if t.is_ident("dbg") && next_is('!') {
+                    ("dbg!".to_string(), false)
+                } else {
+                    continue;
+                };
+
+            if annotatable && file.annotated_near(t.line, "INVARIANT:", LOOKBACK_LINES) {
+                continue;
+            }
+            let hint = if annotatable {
+                "return a typed error, or prove the invariant in a `// INVARIANT:` comment"
+            } else {
+                "never ships in library code — finish or remove it"
+            };
+            out.push(diag(
+                self.id(),
+                self.severity(),
+                file,
+                t.line,
+                format!("`{what}` in library code: {hint}"),
+            ));
+        }
+    }
+}

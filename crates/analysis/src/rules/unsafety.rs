@@ -1,0 +1,53 @@
+//! `unsafe-audit`: every `unsafe` must carry a `// SAFETY:` comment.
+//!
+//! The workspace is currently 100% safe Rust, so this rule lands with an
+//! empty allowlist — its job is to keep it that way: the moment an
+//! `unsafe` block, fn, impl or trait is introduced, CI requires the
+//! obligations to be discharged in writing, directly above the keyword.
+//! The annotation is part of the rule (like `// INVARIANT:` for
+//! panic-hygiene), so the rule is deny-severity and unwaivable.
+
+use super::{diag, Rule};
+use crate::diag::{Diagnostic, Severity};
+use crate::source::SourceFile;
+
+pub struct UnsafeAudit;
+
+/// How far above the `unsafe` keyword the `// SAFETY:` comment may sit.
+const LOOKBACK_LINES: u32 = 3;
+
+impl Rule for UnsafeAudit {
+    fn id(&self) -> &'static str {
+        "unsafe-audit"
+    }
+
+    fn describe(&self) -> &'static str {
+        "every unsafe block/fn/impl must carry a // SAFETY: comment"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check_file(&mut self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        // Test code is NOT exempt: an unproven unsafe in a test corrupts
+        // the very run that was supposed to catch bugs.
+        for t in &file.tokens {
+            if !t.is_ident("unsafe") {
+                continue;
+            }
+            if file.annotated_near(t.line, "SAFETY:", LOOKBACK_LINES) {
+                continue;
+            }
+            out.push(diag(
+                self.id(),
+                self.severity(),
+                file,
+                t.line,
+                "`unsafe` without a `// SAFETY:` comment discharging its obligations \
+                 (put it on the line above the keyword)"
+                    .to_string(),
+            ));
+        }
+    }
+}

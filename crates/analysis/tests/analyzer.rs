@@ -1,0 +1,220 @@
+//! Fixture suite for the static-analysis pass.
+//!
+//! Each seeded violation under `tests/fixtures/violations/` must be
+//! detected by its rule, the clean fixture must produce zero diagnostics
+//! in every audited scope, the baseline must round-trip
+//! (`--fix-baseline` → green → stale on fix), and the real workspace must
+//! be green — so `cargo test` enforces the same gate CI does.
+
+use jit_analysis::diag::Diagnostic;
+use jit_analysis::pairing::{self, PairingMap};
+use jit_analysis::source::SourceFile;
+use jit_analysis::{run, run_rules, Options};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+/// Run the full rule catalog over one fixture presented at `rel_path`.
+fn check_at(rel_path: &str, src: &str, map: PairingMap) -> Vec<Diagnostic> {
+    let file = SourceFile::parse(rel_path, src);
+    run_rules(&[file], map)
+}
+
+fn rules_hit(diags: &[Diagnostic]) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = diags.iter().map(|d| d.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn hasher_violation_detected_in_data_plane_only() {
+    let src = fixture("violations/hasher.rs");
+    let diags = check_at("crates/exec/src/fx.rs", &src, PairingMap::new());
+    assert!(
+        diags.iter().any(|d| d.rule == "default-hasher"),
+        "expected a default-hasher finding, got {diags:?}"
+    );
+    // The same file outside the data plane is not the hasher rule's business.
+    let diags = check_at("crates/harness/src/fx.rs", &src, PairingMap::new());
+    assert!(diags.iter().all(|d| d.rule != "default-hasher"));
+}
+
+#[test]
+fn determinism_violation_detected_outside_allowed_trees() {
+    let src = fixture("violations/determinism.rs");
+    let diags = check_at("crates/exec/src/fx.rs", &src, PairingMap::new());
+    assert!(
+        diags.iter().any(|d| d.rule == "determinism"),
+        "expected a determinism finding, got {diags:?}"
+    );
+    // Metrics may read wall clocks.
+    let diags = check_at("crates/metrics/src/fx.rs", &src, PairingMap::new());
+    assert!(diags.iter().all(|d| d.rule != "determinism"));
+}
+
+#[test]
+fn panic_hygiene_violations_detected_in_library_code_only() {
+    let src = fixture("violations/panic_hygiene.rs");
+    let diags = check_at("crates/exec/src/fx.rs", &src, PairingMap::new());
+    let hits: Vec<_> = diags.iter().filter(|d| d.rule == "panic-hygiene").collect();
+    assert_eq!(hits.len(), 2, "unwrap + panic! expected, got {diags:?}");
+    // Binaries may exit noisily.
+    let diags = check_at("crates/exec/src/bin/fx/main.rs", &src, PairingMap::new());
+    assert!(diags.iter().all(|d| d.rule != "panic-hygiene"));
+}
+
+#[test]
+fn unsafe_violation_detected_everywhere() {
+    let src = fixture("violations/unsafety.rs");
+    for rel in ["crates/exec/src/fx.rs", "crates/harness/src/fx.rs"] {
+        let diags = check_at(rel, &src, PairingMap::new());
+        assert!(
+            diags.iter().any(|d| d.rule == "unsafe-audit"),
+            "expected an unsafe-audit finding at {rel}, got {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn lock_violations_detected_in_runtime_scope() {
+    let src = fixture("violations/locks.rs");
+    let diags = check_at("crates/runtime/src/fx.rs", &src, PairingMap::new());
+    let hits: Vec<_> = diags.iter().filter(|d| d.rule == "lock-order").collect();
+    assert_eq!(
+        hits.len(),
+        2,
+        "unbounded channel + nested lock expected, got {diags:?}"
+    );
+    // The stream crate is outside the lock-discipline scope.
+    let diags = check_at("crates/stream/src/fx.rs", &src, PairingMap::new());
+    assert!(diags.iter().all(|d| d.rule != "lock-order"));
+}
+
+#[test]
+fn parity_unmapped_one_sided_and_stale_all_detected() {
+    let src = fixture("violations/parity.rs");
+    let rel = "crates/exec/src/fx.rs";
+
+    // Empty map: both sites are unmapped.
+    let diags = check_at(rel, &src, PairingMap::new());
+    let unmapped: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == "counter-parity" && d.message.contains("unmapped"))
+        .collect();
+    assert_eq!(unmapped.len(), 2, "got {diags:?}");
+
+    // Fully declared shared sites: green.
+    let map = pairing::parse(
+        "[[counter]]\nname = \"cost:ProbePair\"\nsites = [\n\
+         \"crates/exec/src/fx.rs::process = shared\",\n]\n\
+         [[counter]]\nname = \"stat:probe_pairs\"\nsites = [\n\
+         \"crates/exec/src/fx.rs::process = shared\",\n]\n",
+    )
+    .expect("fixture map parses");
+    let diags = check_at(rel, &src, map);
+    assert!(rules_hit(&diags).is_empty(), "got {diags:?}");
+
+    // Tuple-only lanes without a single_path justification: one-sided.
+    let map = pairing::parse(
+        "[[counter]]\nname = \"cost:ProbePair\"\nsites = [\n\
+         \"crates/exec/src/fx.rs::process = tuple\",\n]\n\
+         [[counter]]\nname = \"stat:probe_pairs\"\nsites = [\n\
+         \"crates/exec/src/fx.rs::process = tuple\",\n]\n",
+    )
+    .expect("fixture map parses");
+    let diags = check_at(rel, &src, map);
+    assert_eq!(
+        diags
+            .iter()
+            .filter(|d| d.message.contains("one-sided"))
+            .count(),
+        2,
+        "got {diags:?}"
+    );
+
+    // A mapped site the code no longer charges: stale.
+    let map = pairing::parse(
+        "[[counter]]\nname = \"cost:ProbePair\"\nsites = [\n\
+         \"crates/exec/src/fx.rs::process = shared\",\n\
+         \"crates/exec/src/gone.rs::vanished = shared\",\n]\n\
+         [[counter]]\nname = \"stat:probe_pairs\"\nsites = [\n\
+         \"crates/exec/src/fx.rs::process = shared\",\n]\n",
+    )
+    .expect("fixture map parses");
+    let diags = check_at(rel, &src, map);
+    assert_eq!(
+        diags.iter().filter(|d| d.message.contains("stale")).count(),
+        1,
+        "got {diags:?}"
+    );
+}
+
+#[test]
+fn clean_fixture_passes_every_scope() {
+    let src = fixture("clean/clean.rs");
+    for rel in [
+        "crates/exec/src/clean.rs",
+        "crates/runtime/src/clean.rs",
+        "crates/core/src/clean.rs",
+    ] {
+        let diags = check_at(rel, &src, PairingMap::new());
+        assert!(diags.is_empty(), "clean fixture at {rel} got {diags:?}");
+    }
+}
+
+#[test]
+fn baseline_round_trips() {
+    // A throwaway workspace with one baseline-severity violation.
+    let root = std::env::temp_dir().join(format!("jit-analysis-rt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let src_dir = root.join("crates/exec/src");
+    std::fs::create_dir_all(&src_dir).expect("temp dirs");
+    std::fs::create_dir_all(root.join("crates/analysis")).expect("temp dirs");
+    std::fs::write(root.join("crates/analysis/pairing.toml"), "").expect("write");
+    std::fs::write(src_dir.join("lib.rs"), fixture("violations/hasher.rs")).expect("write");
+
+    // Unpinned, the violation fails the check.
+    let report = run(&root, &Options::default());
+    assert!(!report.ok(), "expected failures, got {report:?}");
+
+    // `--fix-baseline` pins it…
+    let report = run(&root, &Options { fix_baseline: true });
+    assert!(report.wrote_baseline.is_some());
+
+    // …and the next plain check is green, with the findings absorbed.
+    let report = run(&root, &Options::default());
+    assert!(report.ok(), "expected green, got {report:?}");
+    assert!(report.baseline_covered >= 1);
+
+    // Fixing the code makes the pinned entries stale — the check fails
+    // until the baseline is regenerated.
+    std::fs::write(src_dir.join("lib.rs"), "pub fn fixed() {}\n").expect("write");
+    let report = run(&root, &Options::default());
+    assert!(!report.ok());
+    assert!(!report.stale_baseline.is_empty());
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn workspace_is_green() {
+    // The same gate CI runs: the committed workspace, waivers and baseline
+    // included, must pass. Deny-severity rules carry no waivers at all by
+    // construction — the run fails if one appears.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let report = run(&root, &Options::default());
+    assert!(
+        report.ok(),
+        "workspace check failed: {:?} {:?} {:?}",
+        report.failures,
+        report.stale_baseline,
+        report.errors
+    );
+    assert!(report.files_scanned >= 90);
+}

@@ -1,0 +1,39 @@
+// The clean fixture: data-plane code written the way every rule wants it.
+// The suite asserts this file produces zero diagnostics in every scope.
+use jit_types::FastMap;
+use std::sync::mpsc;
+
+pub struct Index {
+    buckets: FastMap<u64, Vec<u64>>,
+}
+
+impl Index {
+    pub fn new() -> Index {
+        Index {
+            buckets: FastMap::default(),
+        }
+    }
+}
+
+pub fn bounded() -> (mpsc::SyncSender<u64>, mpsc::Receiver<u64>) {
+    mpsc::sync_channel(64)
+}
+
+pub fn head(values: &[u64]) -> u64 {
+    // INVARIANT: callers never pass an empty slice.
+    *values.first().expect("non-empty")
+}
+
+pub fn reinterpret(bytes: [u8; 8]) -> u64 {
+    // SAFETY: every 8-byte pattern is a valid u64.
+    unsafe { std::mem::transmute(bytes) }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may unwrap freely.
+    #[test]
+    fn unwrap_is_fine_here() {
+        assert_eq!(Some(1u64).unwrap(), 1);
+    }
+}

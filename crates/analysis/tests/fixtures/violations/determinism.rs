@@ -1,0 +1,7 @@
+// Seeded violation for rule `determinism`: a wall-clock read outside the
+// allowed trees.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,15 @@
+// Seeded violation for rule `default-hasher`: a std-hasher map in what the
+// test harness presents as a data-plane module.
+use std::collections::HashMap;
+
+pub struct Index {
+    buckets: HashMap<u64, Vec<u64>>,
+}
+
+impl Index {
+    pub fn new() -> Index {
+        Index {
+            buckets: HashMap::new(),
+        }
+    }
+}

@@ -1,0 +1,16 @@
+// Seeded violations for rule `lock-order`: an unbounded channel and a
+// nested lock acquisition in what the harness presents as runtime code.
+use std::sync::{mpsc, Mutex};
+
+pub fn unbounded() -> (mpsc::Sender<u64>, mpsc::Receiver<u64>) {
+    mpsc::channel()
+}
+
+pub fn nested(a: &Mutex<u64>, b: &Mutex<u64>) -> u64 {
+    if let Ok(ga) = a.lock() {
+        if let Ok(gb) = b.lock() {
+            return *ga + *gb;
+        }
+    }
+    0
+}

@@ -1,0 +1,9 @@
+// Seeded violations for rule `panic-hygiene`: an unproven `.unwrap()` and a
+// bare `panic!` in library code.
+pub fn head(values: &[u64]) -> u64 {
+    *values.first().unwrap()
+}
+
+pub fn explode() {
+    panic!("no proof anywhere near this");
+}

@@ -1,0 +1,6 @@
+// Seeded violation for rule `unsafe-audit`: an unannotated `unsafe` block
+// with no discharged obligations anywhere near it.
+
+pub fn reinterpret(bytes: [u8; 8]) -> u64 {
+    unsafe { std::mem::transmute(bytes) }
+}

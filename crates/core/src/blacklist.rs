@@ -10,9 +10,8 @@
 //! joined with yet.
 
 use jit_exec::state::StateIndexMode;
-use jit_types::{ColumnRef, Signature, Timestamp, Tuple, TupleKey, Window};
+use jit_types::{ColumnRef, FastMap, Signature, Timestamp, Tuple, TupleKey, Window};
 use serde::{Content, Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Whether an entry suppresses production entirely or only marks it.
@@ -95,15 +94,15 @@ pub struct Blacklist {
     bytes: usize,
     mode: StateIndexMode,
     /// MNS identity → entry index (all entries).
-    by_key: HashMap<TupleKey, usize>,
+    by_key: FastMap<TupleKey, usize>,
     /// Indices of entries whose MNS is Ø (they capture every tuple).
     empty_entries: Vec<usize>,
     /// Non-empty entries keyed by the identity of their MNS's first
     /// component: any super-tuple of the MNS carries that component.
-    by_component: HashMap<(u16, u64), Vec<usize>>,
+    by_component: FastMap<(u16, u64), Vec<usize>>,
     /// Similar-capture entries grouped by signature column set, then by the
     /// MNS's signature on those columns.
-    by_signature: HashMap<Vec<ColumnRef>, HashMap<Signature, Vec<usize>>>,
+    by_signature: FastMap<Vec<ColumnRef>, FastMap<Signature, Vec<usize>>>,
     /// Conservative lower bound on the earliest timestamp whose expiry could
     /// make [`Blacklist::purge`] remove something (a suspended tuple's `ts`
     /// or a non-Ø entry's MNS `ts`). `None` means no purge can remove

@@ -18,8 +18,9 @@ use jit_exec::operator::{
     DataMessage, OpContext, Operator, OperatorOutput, Port, ResultBlock, LEFT,
 };
 use jit_metrics::CostKind;
-use jit_types::{BaseTuple, Feedback, FilterPredicate, PredicateSet, SourceId, SourceSet, Tuple};
-use std::collections::HashSet;
+use jit_types::{
+    BaseTuple, FastSet, Feedback, FilterPredicate, PredicateSet, SourceId, SourceSet, Tuple,
+};
 use std::sync::Arc;
 
 /// A selection that reports the failing component as an MNS to its producer.
@@ -27,7 +28,7 @@ pub struct JitSelectionOperator {
     name: String,
     predicate: FilterPredicate,
     input_schema: SourceSet,
-    reported: HashSet<jit_types::TupleKey>,
+    reported: FastSet<jit_types::TupleKey>,
     reported_bytes: usize,
 }
 
@@ -42,7 +43,7 @@ impl JitSelectionOperator {
             name: name.into(),
             predicate,
             input_schema,
-            reported: HashSet::new(),
+            reported: FastSet::default(),
             reported_bytes: 0,
         }
     }
@@ -106,7 +107,7 @@ pub struct JitStaticJoinOperator {
     relation: Vec<Arc<BaseTuple>>,
     relation_bytes: usize,
     predicates: PredicateSet,
-    reported: HashSet<jit_types::TupleKey>,
+    reported: FastSet<jit_types::TupleKey>,
     reported_bytes: usize,
 }
 
@@ -127,7 +128,7 @@ impl JitStaticJoinOperator {
             relation,
             relation_bytes,
             predicates,
-            reported: HashSet::new(),
+            reported: FastSet::default(),
             reported_bytes: 0,
         }
     }

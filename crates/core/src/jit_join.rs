@@ -53,11 +53,10 @@ use jit_types::{
     Tuple, TupleKey, Value, Window,
 };
 use serde::{Content, Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Serialise a hash map as its `(key, value)` pairs sorted by key, so the
 /// checkpoint bytes are deterministic regardless of hasher state.
-fn sorted_pairs<K: Ord + Clone, V: Clone>(map: &HashMap<K, V>) -> Vec<(K, V)> {
+fn sorted_pairs<K: Ord + Clone, V: Clone>(map: &FastMap<K, V>) -> Vec<(K, V)> {
     let mut pairs: Vec<(K, V)> = map.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
     pairs.sort_by(|a, b| a.0.cmp(&b.0));
     pairs
@@ -66,7 +65,7 @@ fn sorted_pairs<K: Ord + Clone, V: Clone>(map: &HashMap<K, V>) -> Vec<(K, V)> {
 /// Past presence intervals of a tuple that has been blacklisted at least
 /// once, expressed in the operator's logical event sequence (one tick per
 /// insertion or drain), so that same-millisecond events stay ordered.
-type PresenceHistory = HashMap<TupleKey, Vec<(u64, u64)>>;
+type PresenceHistory = FastMap<TupleKey, Vec<(u64, u64)>>;
 
 /// Window-verdict bounds recorded while one input walked the opposite
 /// state, classifying every `can_join` outcome it saw. A later input with
@@ -155,17 +154,17 @@ pub struct JitJoinOperator {
     event_seq: u64,
     /// For every tuple currently stored in a state, the event at which its
     /// current presence interval started.
-    interval_start: [HashMap<TupleKey, u64>; 2],
+    interval_start: [FastMap<TupleKey, u64>; 2],
     /// Per-side Bloom filters over the state's join-column values
     /// (only maintained under [`MnsDetection::Bloom`]).
-    blooms: [HashMap<ColumnRef, BloomFilter>; 2],
+    blooms: [FastMap<ColumnRef, BloomFilter>; 2],
     /// Full-key spec for probing the *opposite* state with an input
     /// arriving on each port, precomputed from the predicates.
     probe_specs: [JoinKeySpec; 2],
     /// Per-port membership-probe specs for every lattice node (subset of
     /// the port's candidate sources), precomputed so the hashed probe path
     /// allocates no spec per tuple.
-    node_specs: [HashMap<SourceSet, JoinKeySpec>; 2],
+    node_specs: [FastMap<SourceSet, JoinKeySpec>; 2],
     /// Per-port lattice nodes in settling order (largest first), so the
     /// hashed probe path allocates and sorts nothing per tuple.
     node_order: [Vec<SourceSet>; 2],
@@ -238,10 +237,10 @@ impl JitJoinOperator {
                 Blacklist::new(format!("{name}.BL_L")),
                 Blacklist::new(format!("{name}.BL_R")),
             ],
-            histories: [HashMap::new(), HashMap::new()],
+            histories: [FastMap::default(), FastMap::default()],
             event_seq: 0,
-            interval_start: [HashMap::new(), HashMap::new()],
-            blooms: [HashMap::new(), HashMap::new()],
+            interval_start: [FastMap::default(), FastMap::default()],
+            blooms: [FastMap::default(), FastMap::default()],
             fully_suspended: false,
             pending: Vec::new(),
             pending_bytes: 0,
@@ -845,6 +844,7 @@ impl JitJoinOperator {
             && !self.states[opp].is_empty()
             && msg.tuple.sources() == self.schema_of(port);
         if memo_ok {
+            // INVARIANT: memo_ok checked memo_key.is_some() above.
             let key = memo_key.expect("checked by memo_ok");
             let hit = self.batch_memo[port].get(key).filter(|m| {
                 m.generation == self.states[opp].generation()
@@ -1030,6 +1030,7 @@ impl JitJoinOperator {
         // producer of this side.
         let detected = self.detect_mns(&msg.tuple, port, candidates, lattice.as_ref(), ctx);
         if memo_ok {
+            // INVARIANT: memo_ok checked memo_key.is_some() above.
             let key = memo_key.expect("checked by memo_ok");
             self.batch_memo[port].insert(
                 key.to_vec(),

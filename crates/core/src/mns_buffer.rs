@@ -145,6 +145,8 @@ impl MnsBuffer {
     /// the identity map (the probe cache keeps the stale position and
     /// filters it on the next probe). Panics if the slot is already dead.
     fn take_at(&mut self, pos: usize) -> MnsEntry {
+        // INVARIANT: take_at's contract (doc above) requires a live slot;
+        // callers pass positions read from the identity map or candidates().
         let entry = self.slots[pos].take().expect("live entry");
         self.live -= 1;
         self.bytes -= entry.mns.size_bytes();
@@ -179,6 +181,7 @@ impl MnsBuffer {
                         overflow: Vec::new(),
                         all: Vec::new(),
                     });
+                    // INVARIANT: a group was pushed on the line above.
                     groups.last_mut().expect("just pushed")
                 }
             };
@@ -210,6 +213,8 @@ impl MnsBuffer {
         // the live entries, as a freshly built cache would return.
         let slots = &self.slots;
         let is_live = |pos: &usize| slots.get(*pos).is_some_and(Option::is_some);
+        // INVARIANT: every probe path calls ensure_cache first, which
+        // fills self.cache.
         let cache = self.cache.as_mut().expect("ensure_cache called");
         let mut cand = Vec::new();
         let mut key = Vec::new();
@@ -373,6 +378,7 @@ impl MnsBuffer {
             // in entry order — exactly the scan's output order.
             for pos in self.candidates(tuple) {
                 probes += 1;
+                // INVARIANT: candidates() retains only live slot positions.
                 if is_match(self.slots[pos].as_ref().expect("candidates are live")) {
                     matched.push(self.take_at(pos).mns);
                 }

@@ -359,6 +359,8 @@ struct NullBackend;
 
 impl Backend for NullBackend {
     fn push(&mut self, _source: SourceId, _tuple: Arc<BaseTuple>) {
+        // INVARIANT: finish() consumes the session while swapping this in,
+        // so no push can follow.
         unreachable!("NullBackend is never pushed to")
     }
     fn poll_results(&mut self) -> Vec<Tuple> {
@@ -372,6 +374,8 @@ impl Backend for NullBackend {
         Ok(Content::Null)
     }
     fn finish(self: Box<Self>) -> Result<EngineOutcome, EngineError> {
+        // INVARIANT: finish() consumes the session while swapping this in,
+        // so no second finish can follow.
         unreachable!("NullBackend is never finished")
     }
 }

@@ -12,9 +12,8 @@
 use crate::operator::{DataMessage, OpContext, Operator, OperatorOutput, Port};
 use crate::state::{JoinKeySpec, OperatorState, StateIndexMode};
 use jit_metrics::CostKind;
-use jit_types::{PredicateSet, SourceId, SourceSet, Tuple, Window};
+use jit_types::{FastMap, PredicateSet, SourceId, SourceSet, Tuple, Window};
 use serde::Content;
-use std::collections::HashMap;
 
 /// How the Eddy picks the next STeM to visit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,7 +36,7 @@ pub struct EddyOperator {
     /// Probe specs cached per (stem, frontier source set) — adaptive
     /// routing makes the frontiers seen at a stem dynamic, so they are
     /// derived on first sight rather than precomputed.
-    spec_cache: HashMap<(usize, SourceSet), JoinKeySpec>,
+    spec_cache: FastMap<(usize, SourceSet), JoinKeySpec>,
 }
 
 impl EddyOperator {
@@ -58,7 +57,7 @@ impl EddyOperator {
             predicates,
             window,
             policy,
-            spec_cache: HashMap::new(),
+            spec_cache: FastMap::default(),
         }
     }
 

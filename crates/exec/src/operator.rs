@@ -122,8 +122,10 @@ impl ResultBlock {
                     _ => false,
                 };
                 let part = if from_a {
+                    // INVARIANT: from_a is true only when ai peeked Some.
                     ai.next().expect("peeked")
                 } else {
+                    // INVARIANT: the loop condition plus !from_a imply bi peeked Some.
                     bi.next().expect("peeked")
                 };
                 self.sources.push(part.source);
@@ -134,10 +136,14 @@ impl ResultBlock {
             let mut bi = b.parts().iter().peekable();
             for (source, column) in self.sources.iter().zip(&mut self.columns) {
                 let part = if ai.peek().is_some_and(|p| p.source == *source) {
+                    // INVARIANT: the branch condition peeked Some on ai.
                     ai.next().expect("peeked")
                 } else if bi.peek().is_some_and(|p| p.source == *source) {
+                    // INVARIANT: the branch condition peeked Some on bi.
                     bi.next().expect("peeked")
                 } else {
+                    // INVARIANT: join results only combine blocks covering the
+                    // operator's schema; a missing source is a planner bug, so stop loudly.
                     panic!("match does not cover block source {source}");
                 };
                 column.push(part.clone());

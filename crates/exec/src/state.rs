@@ -72,7 +72,7 @@
 use jit_types::{ColumnRef, FastMap, PredicateSet, SourceSet, Timestamp, Tuple, Value, Window};
 use serde::{Content, Deserialize, Serialize};
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 use std::hash::Hash;
 use std::rc::Rc;
@@ -558,6 +558,7 @@ impl OperatorState {
                     break;
                 }
                 debug_assert_eq!(ts, entry.tuple.ts());
+                // INVARIANT: get(seq) returned Some above, so the slot is live.
                 self.take(seq).expect("checked live");
                 removed += 1;
             }
@@ -577,6 +578,7 @@ impl OperatorState {
         let mut drained = Vec::new();
         for slot in &mut self.slots {
             if slot.as_ref().is_some_and(&mut pred) {
+                // INVARIANT: is_some_and held, so the slot is occupied.
                 let entry = slot.take().expect("checked some");
                 self.bytes -= entry.tuple.size_bytes();
                 self.live_count -= 1;
@@ -720,6 +722,7 @@ impl OperatorState {
             .indexes
             .iter_mut()
             .find_map(|(s, index)| (s == spec).then_some(index))
+            // INVARIANT: ensure_index(spec) above inserted this spec's index.
             .expect("just ensured");
         let Some(bucket) = index.buckets.get_mut(key) else {
             index.overflow.retain(|&s| is_live(s));
@@ -875,7 +878,7 @@ pub type SharedState = Rc<RefCell<OperatorState>>;
 /// refcount) — the pair the multi-query bench compares.
 #[derive(Debug, Default)]
 pub struct StateCache<K> {
-    entries: HashMap<K, CacheEntry>,
+    entries: FastMap<K, CacheEntry>,
 }
 
 #[derive(Debug)]
@@ -888,7 +891,7 @@ impl<K: Hash + Eq + Clone> StateCache<K> {
     /// An empty cache.
     pub fn new() -> Self {
         StateCache {
-            entries: HashMap::new(),
+            entries: FastMap::default(),
         }
     }
 

@@ -268,6 +268,8 @@ pub fn run_figure(spec: &FigureSpec, duration_scale: f64, seed: u64) -> FigureRe
             .executor_config(exec_config)
             .state_index(StateIndexMode::Scan)
             .compare(&trace, &config.modes)
+            // INVARIANT: the built-in figure workloads construct valid plans;
+            // a failure here is a bug in this crate's own tables.
             .expect("figure plans are valid by construction");
         let measurements = outcomes
             .into_iter()

@@ -180,6 +180,7 @@ fn bushy_nodes(n: usize) -> Vec<JoinNode> {
             j(Node(3), Node(4)),
             j(Node(2), Node(5)),
         ],
+        // INVARIANT: the assert above restricts n to 3..=8, all matched.
         _ => unreachable!(),
     }
 }

@@ -241,6 +241,8 @@ impl ShardedRuntime {
                         snapshot,
                     }
                 })
+                // INVARIANT: thread spawn fails only on resource exhaustion at
+                // session startup — there is no meaningful recovery path.
                 .expect("spawning a shard worker thread");
             senders.push(Some(tx));
             workers.push(Some(handle));
@@ -433,6 +435,8 @@ impl ShardedSession {
                 .filter_map(|(other, buf)| buf.front().map(|t| (t.ts(), other)))
                 .min();
             loop {
+                // INVARIANT: `next` proved this shard's front exists, and only
+                // this loop pops from it.
                 released.push(self.buffered[shard].pop_front().expect("front exists"));
                 let keep_going = self.buffered[shard].front().is_some_and(|t| {
                     t.ts() < watermark
@@ -496,6 +500,8 @@ impl ShardedSession {
                 states[shard] = Some(state);
             }
         }
+        // INVARIANT: the checkpoint barrier above collected exactly one
+        // state chunk per shard.
         let states: Vec<Content> = states.into_iter().map(|s| s.expect("barrier")).collect();
         let buffered: Vec<Vec<Tuple>> = self
             .buffered
@@ -540,6 +546,8 @@ impl ShardedSession {
             .map(|(shard, handle)| {
                 handle
                     .take()
+                    // INVARIANT: finish() runs once and is the only taker of worker
+                    // handles.
                     .expect("worker joined once")
                     .join()
                     .map_err(|payload| RuntimeError::ShardPanicked {

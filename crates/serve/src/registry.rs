@@ -10,11 +10,10 @@ use jit_plan::canonical::{CanonicalKey, CanonicalQuery, FilterTerm};
 use jit_plan::cql::CqlError;
 use jit_runtime::RuntimeConfig;
 use jit_types::{
-    BaseTuple, BatchPolicy, Catalog, ColumnRef, Signature, SourceId, Timestamp, Tuple, Value,
-    Window,
+    BaseTuple, BatchPolicy, Catalog, ColumnRef, FastMap, Signature, SourceId, Timestamp, Tuple,
+    Value, Window,
 };
 use serde::{Content, Serialize};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Handle to one registered query, unique for the registry's lifetime
@@ -190,11 +189,11 @@ pub struct QueryRegistry {
     /// Creation-ordered pipeline slots, tombstoned on removal so routing
     /// order (and therefore result interleaving) is deterministic.
     pipelines: Vec<Option<Pipeline>>,
-    by_key: HashMap<CanonicalKey, usize>,
+    by_key: FastMap<CanonicalKey, usize>,
     /// Global source id → subscribed pipeline slots, ascending.
-    routes: HashMap<SourceId, Vec<usize>>,
-    queries: HashMap<QueryId, usize>,
-    mailboxes: HashMap<QueryId, Vec<Tuple>>,
+    routes: FastMap<SourceId, Vec<usize>>,
+    queries: FastMap<QueryId, usize>,
+    mailboxes: FastMap<QueryId, Vec<Tuple>>,
     selection: SelectionIndex,
     stems: StateCache<StemKey>,
     /// Per-pipeline suppression digests in global column space, as of the
@@ -203,7 +202,7 @@ pub struct QueryRegistry {
     stats: SharingStats,
     next_query: u64,
     /// Per-source sequence counters for [`QueryRegistry::push_values`].
-    seqs: HashMap<SourceId, u64>,
+    seqs: FastMap<SourceId, u64>,
     last_push_ts: Timestamp,
 }
 
@@ -230,16 +229,16 @@ impl QueryRegistry {
             catalog,
             options,
             pipelines: Vec::new(),
-            by_key: HashMap::new(),
-            routes: HashMap::new(),
-            queries: HashMap::new(),
-            mailboxes: HashMap::new(),
+            by_key: FastMap::default(),
+            routes: FastMap::default(),
+            queries: FastMap::default(),
+            mailboxes: FastMap::default(),
             selection: SelectionIndex::new(),
             stems: StateCache::new(),
             digests: Vec::new(),
             stats: SharingStats::default(),
             next_query: 0,
-            seqs: HashMap::new(),
+            seqs: FastMap::default(),
             last_push_ts: Timestamp::ZERO,
         }
     }
@@ -287,6 +286,8 @@ impl QueryRegistry {
         // Per-query references on the shared selection classes and leaf
         // windows: the refcounts price what isolated serving would keep.
         let (sources, window, local_classes, is_fresh) = {
+            // INVARIANT: the queries map only holds indices of live pipeline
+            // slots (entries are removed together in unregister).
             let pipeline = self.pipelines[idx].as_ref().expect("live pipeline");
             let sources = pipeline.canonical.sources().to_vec();
             let local_classes: Vec<Vec<FilterTerm>> = (0..sources.len())
@@ -313,6 +314,8 @@ impl QueryRegistry {
             class_of_local.push(class);
             stem_keys.push(key);
         }
+        // INVARIANT: the queries map only holds indices of live pipeline
+        // slots (entries are removed together in unregister).
         let pipeline = self.pipelines[idx].as_mut().expect("live pipeline");
         if is_fresh {
             pipeline.class_of_local = class_of_local;
@@ -383,6 +386,8 @@ impl QueryRegistry {
         self.fan_out(idx);
         self.queries.remove(&qid);
 
+        // INVARIANT: the queries map only holds indices of live pipeline
+        // slots; qid was just resolved through it.
         let pipeline = self.pipelines[idx].as_mut().expect("live pipeline");
         pipeline.subscribers.retain(|&q| q != qid);
         let empty = pipeline.subscribers.is_empty();
@@ -396,6 +401,8 @@ impl QueryRegistry {
         }
 
         if empty {
+            // INVARIANT: the slot was live two statements up and nothing
+            // in between can clear it.
             let pipeline = self.pipelines[idx].take().expect("live pipeline");
             self.by_key.remove(pipeline.canonical.key());
             for &global in pipeline.canonical.sources() {
@@ -481,7 +488,8 @@ impl QueryRegistry {
             Some(v) => v,
             None => self.selection.classify(source, &global_tuple),
         };
-        let mut passed: HashMap<ClassId, bool> = HashMap::with_capacity(verdicts.len());
+        let mut passed: FastMap<ClassId, bool> =
+            FastMap::with_capacity_and_hasher(verdicts.len(), Default::default());
         for (class, ok) in verdicts {
             self.stats.classifications_saved += (self.selection.refcount(class) as u64).max(1) - 1;
             passed.insert(class, ok);
@@ -518,6 +526,8 @@ impl QueryRegistry {
             let local = pipeline
                 .canonical
                 .local_id(source)
+                // INVARIANT: routes entries only name pipelines whose canonical
+                // query covers the routed source.
                 .expect("routed pipeline references source");
             let key = pipeline.stem_keys[local.0 as usize];
             if class_passes(key.2) && !touched.contains(&key) {
@@ -543,6 +553,8 @@ impl QueryRegistry {
             let local = pipeline
                 .canonical
                 .local_id(source)
+                // INVARIANT: routes entries only name pipelines whose canonical
+                // query covers the routed source.
                 .expect("routed pipeline references source");
             if !class_passes(pipeline.class_of_local[local.0 as usize]) {
                 continue;
@@ -585,6 +597,8 @@ impl QueryRegistry {
             .ok_or(ServeError::UnknownQuery(qid))?;
         self.fan_out(idx);
         Ok(std::mem::take(
+            // INVARIANT: every registered query gets a mailbox at register
+            // time; both are removed together.
             self.mailboxes.get_mut(&qid).expect("mailbox"),
         ))
     }
@@ -602,6 +616,8 @@ impl QueryRegistry {
         for &qid in &pipeline.subscribers {
             self.mailboxes
                 .get_mut(&qid)
+                // INVARIANT: subscribers are registered queries, each with a
+                // mailbox created at register time.
                 .expect("mailbox")
                 .extend(fresh.iter().cloned());
         }
@@ -614,6 +630,8 @@ impl QueryRegistry {
             .queries
             .get(&qid)
             .ok_or(ServeError::UnknownQuery(qid))?;
+        // INVARIANT: the queries map only holds indices of live pipeline
+        // slots (entries are removed together in unregister).
         let pipeline = self.pipelines[idx].as_mut().expect("live pipeline");
         Ok(pipeline.session.metrics_snapshot())
     }
@@ -630,12 +648,16 @@ impl QueryRegistry {
             .queries
             .get(&qid)
             .ok_or(ServeError::UnknownQuery(qid))?;
+        // INVARIANT: the queries map only holds indices of live pipeline
+        // slots (entries are removed together in unregister).
         let pipeline = self.pipelines[idx].as_ref().expect("live pipeline");
         let local = pipeline
             .canonical
             .local_id(source)
             .ok_or(ServeError::UnknownSource(source))?;
         let key = pipeline.stem_keys[local.0 as usize];
+        // INVARIANT: stem_keys entries hold an acquire() refcount until
+        // the pipeline is unregistered.
         let state = self.stems.peek(&key).expect("acquired stem");
         let mut state = state.borrow_mut();
         state.purge(key.1, self.last_push_ts);
@@ -718,6 +740,8 @@ impl QueryRegistry {
         }
         let mut stem_states = Vec::new();
         for key in self.stem_key_order() {
+            // INVARIANT: stem_key_order() lists only keys currently holding
+            // an acquire() refcount.
             let state = self.stems.peek(&key).expect("acquired stem");
             stem_states.push(state.borrow().checkpoint());
         }
@@ -817,6 +841,8 @@ impl QueryRegistry {
         let stem_order = self.stem_key_order();
         let stem_blobs = stem_blobs.as_seq_n(stem_order.len(), TY).map_err(corrupt)?;
         for (key, blob) in stem_order.iter().zip(stem_blobs.iter()) {
+            // INVARIANT: stem_key_order() lists only keys currently holding
+            // an acquire() refcount.
             let state = self.stems.peek(key).expect("acquired stem");
             state
                 .borrow_mut()

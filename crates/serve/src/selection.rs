@@ -15,8 +15,7 @@
 
 use jit_plan::FilterTerm;
 use jit_types::kernel::{self, BitMask};
-use jit_types::{Batch, ColumnRef, CompareOp, FilterPredicate, SourceId, Tuple, Value};
-use std::collections::HashMap;
+use jit_types::{Batch, ColumnRef, CompareOp, FastMap, FilterPredicate, SourceId, Tuple, Value};
 
 /// Stable handle to one deduplicated filter conjunction.
 pub type ClassId = usize;
@@ -40,9 +39,9 @@ struct ClassEntry {
 pub struct SelectionIndex {
     /// Slot per ever-created class; `None` once released to refcount 0.
     classes: Vec<Option<ClassEntry>>,
-    by_key: HashMap<ClassKey, ClassId>,
+    by_key: FastMap<ClassKey, ClassId>,
     /// Global source id → live class ids on that source (ascending).
-    by_source: HashMap<SourceId, Vec<ClassId>>,
+    by_source: FastMap<SourceId, Vec<ClassId>>,
     evaluations: u64,
 }
 
@@ -67,6 +66,8 @@ impl SelectionIndex {
                 .collect(),
         );
         if let Some(&id) = self.by_key.get(&key) {
+            // INVARIANT: by_key only references live class slots (removed
+            // together in release).
             self.classes[id].as_mut().expect("live class").refcount += 1;
             return Some(id);
         }
@@ -108,6 +109,8 @@ impl SelectionIndex {
         };
         let mut verdicts = Vec::with_capacity(ids.len());
         for &id in ids {
+            // INVARIANT: by_source only references live class slots (removed
+            // together in release).
             let entry = self.classes[id].as_ref().expect("live class");
             self.evaluations += 1;
             let passed = entry
@@ -136,6 +139,8 @@ impl SelectionIndex {
         let mut verdicts = Vec::with_capacity(num_classes);
         let mut term_mask = BitMask::new();
         for &id in ids {
+            // INVARIANT: by_source only references live class slots (removed
+            // together in release).
             let entry = self.classes[id].as_ref().expect("live class");
             let mut mask = BitMask::filled(n, true);
             for p in &entry.predicates {

@@ -45,6 +45,8 @@ impl ZipfSampler {
         let u: f64 = rng.gen();
         match self
             .cdf
+            // INVARIANT: the CDF is built from finite weights, so the
+            // comparison is total.
             .binary_search_by(|p| p.partial_cmp(&u).expect("CDF contains NaN"))
         {
             Ok(idx) => idx as u64 + 1,

@@ -145,6 +145,8 @@ impl ArrayBuilder {
                 let mut values: Vec<Value> = match repr {
                     ArrayImpl::Int64(v) => v.iter().map(|&i| Value::Int(i)).collect(),
                     ArrayImpl::Utf8(v) => v.iter().map(|s| Value::Str(Arc::clone(s))).collect(),
+                    // INVARIANT: the Values representation was consumed by the outer
+                    // match arm above.
                     ArrayImpl::Values(_) => unreachable!("handled above"),
                 };
                 values.push(value.clone());

@@ -47,7 +47,7 @@ pub use array::{ArrayBuilder, ArrayImpl};
 pub use batch::{Batch, BatchPolicy, Block, BlockBuilder};
 pub use error::TypeError;
 pub use feedback::{Feedback, FeedbackCommand};
-pub use hash::{FastBuildHasher, FastHasher, FastMap};
+pub use hash::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use kernel::BitMask;
 pub use predicate::{CompareOp, EquiPredicate, FilterPredicate, PredicateSet};
 pub use schema::{Catalog, ColumnRef, SourceId, SourceSchema, SourceSet};

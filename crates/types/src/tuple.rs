@@ -136,6 +136,7 @@ impl Parts {
 
     fn from_vec(mut parts: Vec<Arc<BaseTuple>>) -> Self {
         if parts.len() == 1 {
+            // INVARIANT: len == 1 was just checked.
             Parts::Single(parts.pop().expect("len checked"))
         } else {
             Parts::Multi(Arc::from(parts))
